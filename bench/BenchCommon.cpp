@@ -1,0 +1,86 @@
+//===- bench/BenchCommon.cpp ----------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace wcs;
+using namespace wcs::bench;
+
+ProblemSize wcs::bench::sizeFromEnv(ProblemSize Default) {
+  const char *E = std::getenv("WCS_SIZE");
+  if (!E)
+    return Default;
+  if (!std::strcmp(E, "mini"))
+    return ProblemSize::Mini;
+  if (!std::strcmp(E, "small"))
+    return ProblemSize::Small;
+  if (!std::strcmp(E, "medium"))
+    return ProblemSize::Medium;
+  if (!std::strcmp(E, "large"))
+    return ProblemSize::Large;
+  if (!std::strcmp(E, "xlarge"))
+    return ProblemSize::ExtraLarge;
+  std::fprintf(stderr, "warning: unknown WCS_SIZE '%s' ignored\n", E);
+  return Default;
+}
+
+HierarchyConfig wcs::bench::scaledTestSystem() {
+  return HierarchyConfig::twoLevel(CacheConfig::scaledL1(),
+                                   CacheConfig::scaledL2());
+}
+
+HierarchyConfig wcs::bench::scaledPolyCacheConfig() {
+  CacheConfig L1{4 * 1024, 4, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig L2{32 * 1024, 4, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  return HierarchyConfig::twoLevel(L1, L2);
+}
+
+CacheConfig wcs::bench::fullyAssociativeTwin(const CacheConfig &C) {
+  CacheConfig F = C;
+  F.Assoc = C.numLines();
+  F.Policy = PolicyKind::Lru;
+  return F;
+}
+
+ScopProgram wcs::bench::mustBuild(const KernelInfo &K, ProblemSize S) {
+  std::string Err;
+  ScopProgram P = buildKernel(K, S, &Err);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "fatal: cannot build %s at %s: %s\n", K.Name,
+                 problemSizeName(S), Err.c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+void wcs::bench::requireEqualMisses(const char *Kernel, const SimStats &A,
+                                    const SimStats &B) {
+  bool Ok = A.totalAccesses() == B.totalAccesses();
+  for (unsigned L = 0; Ok && L < A.NumLevels && L < B.NumLevels; ++L)
+    Ok = A.Level[L].Misses == B.Level[L].Misses &&
+         A.Level[L].Accesses == B.Level[L].Accesses;
+  if (Ok)
+    return;
+  std::fprintf(stderr,
+               "fatal: simulator disagreement on %s:\n  A: %s\n  B: %s\n",
+               Kernel, A.str().c_str(), B.str().c_str());
+  std::exit(1);
+}
+
+void GeoMean::add(double V) {
+  if (V <= 0)
+    return;
+  LogSum += std::log(V);
+  ++N;
+}
+
+double GeoMean::value() const { return N == 0 ? 0.0 : std::exp(LogSum / N); }

@@ -1,0 +1,66 @@
+//===- bench/BenchCommon.h - Shared benchmark-harness helpers --*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: cache-config
+/// presets (the scaled test system and the scaled PolyCache setup),
+/// problem-size selection via the WCS_SIZE environment variable, kernel
+/// iteration, and result verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_BENCH_BENCHCOMMON_H
+#define WCS_BENCH_BENCHCOMMON_H
+
+#include "wcs/cache/CacheConfig.h"
+#include "wcs/polybench/Polybench.h"
+#include "wcs/sim/SimStats.h"
+
+#include <string>
+
+namespace wcs {
+namespace bench {
+
+/// Problem size from $WCS_SIZE (mini/small/medium/large/xlarge), or
+/// \p Default.
+ProblemSize sizeFromEnv(ProblemSize Default);
+
+/// The scaled test-system hierarchy (paper Sec. 6.1, scaled per
+/// EXPERIMENTS.md): 4 KiB 8-way PLRU L1 + 32 KiB 16-way Quad-age LRU L2.
+HierarchyConfig scaledTestSystem();
+
+/// The scaled PolyCache comparison configuration (paper Sec. 6.3):
+/// two-level LRU, write-back write-allocate; 4 KiB 4-way + 32 KiB 4-way.
+HierarchyConfig scaledPolyCacheConfig();
+
+/// The fully-associative LRU twin of \p C (HayStack's cache model).
+CacheConfig fullyAssociativeTwin(const CacheConfig &C);
+
+/// Builds a kernel or dies with a message.
+ScopProgram mustBuild(const KernelInfo &K, ProblemSize S);
+
+/// Aborts the benchmark if two simulators disagree (soundness check that
+/// runs inside every figure harness).
+void requireEqualMisses(const char *Kernel, const SimStats &A,
+                        const SimStats &B);
+
+/// Geometric mean helper.
+class GeoMean {
+public:
+  void add(double V);
+  double value() const;
+  unsigned count() const { return N; }
+
+private:
+  double LogSum = 0.0;
+  unsigned N = 0;
+};
+
+} // namespace bench
+} // namespace wcs
+
+#endif // WCS_BENCH_BENCHCOMMON_H

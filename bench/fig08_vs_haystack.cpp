@@ -1,0 +1,75 @@
+//===- bench/fig08_vs_haystack.cpp - Paper Fig. 8 -------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// Regenerates Fig. 8: warping simulation against HayStack on the
+// fully-associative LRU version of the test-system L1 (the only cache
+// model HayStack supports).
+//
+// Substitution (DESIGN.md): HayStack itself is replaced by an exact
+// stack-distance profiler that computes the identical quantity (per-
+// access reuse distances -> fully-associative LRU misses). Miss counts
+// are therefore comparable one-to-one and are verified equal against
+// warping simulation. Runtime comparisons carry a caveat: the substitute
+// is trace-based (runtime proportional to the access count), whereas the
+// real HayStack is analytical and largely problem-size-independent, so
+// the paper's "HayStack wins on non-warping kernels" does not transfer;
+// the complementary shape "warping wins on stencils" does.
+//
+// Environment: WCS_SIZE (default large).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "wcs/sim/WarpingSimulator.h"
+#include "wcs/trace/StackDistance.h"
+
+#include <cstdio>
+
+using namespace wcs;
+using namespace wcs::bench;
+
+int main() {
+  ProblemSize Size = sizeFromEnv(ProblemSize::Large);
+  CacheConfig FA = fullyAssociativeTwin(CacheConfig::scaledL1());
+  HierarchyConfig H = HierarchyConfig::singleLevel(FA);
+  std::printf("== Figure 8: warping vs HayStack-substitute, "
+              "fully-associative LRU L1 (%s), size %s ==\n\n",
+              FA.str().c_str(), problemSizeName(Size));
+  std::printf("%-15s %12s %12s %12s %12s %10s\n", "kernel", "accesses",
+              "misses", "haystack[s]", "warp[s]", "speedup");
+  GeoMean Mean;
+  for (const KernelInfo &K : polybenchKernels()) {
+    ScopProgram P = mustBuild(K, Size);
+
+    double ProfSecs = 0.0;
+    StackDistanceProfiler Prof =
+        profileProgram(P, FA.BlockBytes, /*IncludeScalars=*/false,
+                       &ProfSecs);
+    uint64_t ModelMisses = Prof.missesForCache(FA);
+
+    WarpingSimulator Warp(P, H);
+    SimStats W = Warp.run();
+    if (W.Level[0].Misses != ModelMisses) {
+      std::fprintf(stderr,
+                   "fatal: %s: warping (%llu) and the stack-distance "
+                   "model (%llu) disagree on FA-LRU misses\n",
+                   K.Name,
+                   static_cast<unsigned long long>(W.Level[0].Misses),
+                   static_cast<unsigned long long>(ModelMisses));
+      return 1;
+    }
+    double Speedup = ProfSecs / W.Seconds;
+    Mean.add(Speedup);
+    std::printf("%-15s %12llu %12llu %12.3f %12.3f %9.2fx\n", K.Name,
+                static_cast<unsigned long long>(W.totalAccesses()),
+                static_cast<unsigned long long>(ModelMisses), ProfSecs,
+                W.Seconds, Speedup);
+  }
+  std::printf("\ngeomean speedup vs the trace-based substitute: %.2fx\n"
+              "all miss counts verified equal (both models are exact for "
+              "fully-associative LRU)\n",
+              Mean.value());
+  return 0;
+}

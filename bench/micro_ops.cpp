@@ -1,0 +1,137 @@
+//===- bench/micro_ops.cpp - Component micro-benchmarks -------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// google-benchmark microbenchmarks of the hot components: concrete cache
+// accesses per policy, symbolic (tagged) accesses, warp state-key
+// hashing, Fourier-Motzkin minimization, and stack-distance updates.
+// These quantify the constant factors behind the figure harnesses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/cache/ConcreteCache.h"
+#include "wcs/poly/FourierMotzkin.h"
+#include "wcs/polybench/Polybench.h"
+#include "wcs/sim/SymbolicCache.h"
+#include "wcs/sim/WarpEngine.h"
+#include "wcs/trace/StackDistance.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace wcs;
+
+namespace {
+
+CacheConfig microCache(PolicyKind K) {
+  CacheConfig C;
+  C.SizeBytes = 4 * 1024;
+  C.Assoc = 8;
+  C.BlockBytes = 64;
+  C.Policy = K;
+  return C;
+}
+
+std::vector<BlockId> streamTrace(size_t N) {
+  std::mt19937 Rng(42);
+  std::vector<BlockId> T(N);
+  BlockId Cur = 0;
+  for (size_t I = 0; I < N; ++I) {
+    if (Rng() % 4 == 0)
+      Cur = Rng() % 256;
+    T[I] = Cur++;
+  }
+  return T;
+}
+
+void BM_ConcreteAccess(benchmark::State &State) {
+  PolicyKind K = static_cast<PolicyKind>(State.range(0));
+  ConcreteCache C(microCache(K));
+  std::vector<BlockId> T = streamTrace(4096);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(C.access(T[I], true).Hit);
+    I = (I + 1) & 4095;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ConcreteAccess)
+    ->Arg(static_cast<int>(PolicyKind::Lru))
+    ->Arg(static_cast<int>(PolicyKind::Fifo))
+    ->Arg(static_cast<int>(PolicyKind::Plru))
+    ->Arg(static_cast<int>(PolicyKind::QuadAgeLru));
+
+void BM_SymbolicAccess(benchmark::State &State) {
+  HierarchyConfig H = HierarchyConfig::twoLevel(
+      microCache(PolicyKind::Plru),
+      CacheConfig{32 * 1024, 16, 64, PolicyKind::QuadAgeLru,
+                  WriteAllocate::Yes});
+  SymbolicHierarchy C(H);
+  std::vector<BlockId> T = streamTrace(4096);
+  IterVec Iter{0, 0};
+  size_t I = 0;
+  for (auto _ : State) {
+    Iter[1] = static_cast<int64_t>(I);
+    benchmark::DoNotOptimize(C.access(T[I], false, 3, Iter).L1Hit);
+    I = (I + 1) & 4095;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SymbolicAccess);
+
+void BM_StateKey(benchmark::State &State) {
+  std::string Err;
+  ScopProgram P = buildKernel("jacobi-2d", ProblemSize::Small, &Err);
+  HierarchyConfig H = HierarchyConfig::singleLevel(microCache(
+      PolicyKind::Plru));
+  SymbolicHierarchy C(H);
+  SimOptions O;
+  WarpEngine Eng(P, H, O);
+  // Populate the cache with tagged lines.
+  const AccessNode *A = P.accesses()[0];
+  for (int64_t I = 0; I < 4096; ++I)
+    C.access(A->Address.eval(IterVec{0, 1 + I % 40, 1 + I % 40}) >> 6,
+             false, A->Id, IterVec{0, 1 + I % 40, 1 + I % 40});
+  WarpScope S;
+  S.Loop = P.loops()[1]; // The i-loop.
+  S.Prefix = IterVec{0};
+  S.Hi = 40;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Eng.stateKey(C, S));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StateKey);
+
+void BM_FourierMotzkinMinimize(benchmark::State &State) {
+  for (auto _ : State) {
+    LinearSystem Sys(3);
+    Sys.addGE({1, 0, 0}, -1);
+    Sys.addGE({3, -1, 0}, 0);
+    Sys.addGE({0, 1, -2}, 5);
+    Sys.addGE({0, -1, 1}, 40);
+    Sys.addGE({0, 0, 1}, 0);
+    Sys.addGE({0, 0, -1}, 100);
+    std::optional<Rational> Min;
+    benchmark::DoNotOptimize(Sys.minimize(0, Min));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_FourierMotzkinMinimize);
+
+void BM_StackDistance(benchmark::State &State) {
+  std::vector<BlockId> T = streamTrace(1 << 16);
+  StackDistanceProfiler Prof;
+  size_t I = 0;
+  for (auto _ : State) {
+    Prof.accessBlock(T[I]);
+    I = (I + 1) & ((1 << 16) - 1);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StackDistance);
+
+} // namespace
+
+BENCHMARK_MAIN();

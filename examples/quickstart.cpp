@@ -1,0 +1,71 @@
+//===- examples/quickstart.cpp - First steps with wcs ---------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// The paper's Fig. 1 running example: a 1D stencil simulated on a small
+// fully-associative LRU cache, first without warping (Algorithm 1), then
+// with warping (Algorithm 2). Warping fast-forwards through the loop
+// after a handful of explicit iterations and reproduces the exact miss
+// count.
+//
+// Build & run:  ./examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/frontend/Frontend.h"
+#include "wcs/sim/ConcreteSimulator.h"
+#include "wcs/sim/WarpingSimulator.h"
+
+#include <cstdio>
+
+using namespace wcs;
+
+int main() {
+  // 1. Describe the program in the wcs loop-nest dialect. Each array
+  //    cell occupies a full 64-byte cache line here, as in the paper's
+  //    example (hence the `long` elements and the padded arrays).
+  const char *Source = R"(
+    param N = 1000;
+    long A[N][8]; long B[N][8];
+    for (i = 1; i < N - 1; i++)
+      B[i-1][0] = A[i-1][0] + A[i][0];
+  )";
+  ParseResult PR = parseScop(Source, {}, "fig1-stencil");
+  if (!PR.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", PR.message().c_str());
+    return 1;
+  }
+  std::printf("=== program ===\n%s\n", PR.Program.str().c_str());
+
+  // 2. A fully-associative cache with two lines and LRU replacement.
+  CacheConfig C;
+  C.SizeBytes = 2 * 64;
+  C.Assoc = 2;
+  C.BlockBytes = 64;
+  C.Policy = PolicyKind::Lru;
+  HierarchyConfig H = HierarchyConfig::singleLevel(C);
+  std::printf("=== cache ===\n%s\n\n", H.str().c_str());
+
+  // 3. Non-warping simulation (paper Algorithm 1).
+  ConcreteSimulator Ref(PR.Program, H);
+  SimStats R = Ref.run();
+  std::printf("non-warping: %s\n", R.str().c_str());
+
+  // 4. Warping simulation (paper Algorithm 2).
+  WarpingSimulator Warp(PR.Program, H);
+  SimStats W = Warp.run();
+  std::printf("warping:     %s\n", W.str().c_str());
+
+  std::printf("\nThe paper predicts 3 misses in the first iteration and "
+              "1 hit + 2 misses afterwards;\nboth simulators report %llu "
+              "misses over %llu accesses.\n",
+              static_cast<unsigned long long>(W.Level[0].Misses),
+              static_cast<unsigned long long>(W.totalAccesses()));
+  std::printf("Warping simulated %llu accesses explicitly and "
+              "fast-forwarded across %llu (%llu warps).\n",
+              static_cast<unsigned long long>(W.SimulatedAccesses),
+              static_cast<unsigned long long>(W.WarpedAccesses),
+              static_cast<unsigned long long>(W.Warps));
+  return W.Level[0].Misses == R.Level[0].Misses ? 0 : 1;
+}

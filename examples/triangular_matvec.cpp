@@ -1,0 +1,76 @@
+//===- examples/triangular_matvec.cpp - Builder API tour ------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// The paper's Fig. 4 program (upper-triangular matrix-vector product)
+// built programmatically with ScopBuilder instead of the frontend, then
+// analyzed under several cache geometries. Demonstrates triangular
+// domains, the tree representation, and per-level statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/scop/Builder.h"
+#include "wcs/sim/ConcreteSimulator.h"
+#include "wcs/sim/WarpingSimulator.h"
+
+#include <cstdio>
+
+using namespace wcs;
+
+int main() {
+  const int64_t N = 400;
+
+  // c[i] = 0; for (j = i; j < N; j++) c[i] += A[i][j] * x[j];
+  ScopBuilder B("triangular-matvec");
+  unsigned C = B.addArray("c", 8, {N});
+  unsigned A = B.addArray("A", 8, {N, N});
+  unsigned X = B.addArray("x", 8, {N});
+
+  B.beginLoop("i", B.cst(0), B.cst(N - 1));
+  B.write(C, {B.iter("i")});
+  B.beginLoop("j", B.iter("i"), B.cst(N - 1));
+  B.read(C, {B.iter("i")});
+  B.read(A, {B.iter("i"), B.iter("j")});
+  B.read(X, {B.iter("j")});
+  B.write(C, {B.iter("i")});
+  B.endLoop();
+  B.endLoop();
+
+  std::string Err;
+  ScopProgram P = B.finish(&Err);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "builder error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("%s\n", P.str().c_str());
+
+  std::printf("%-28s %12s %12s %12s %10s\n", "cache", "accesses",
+              "L1 misses", "miss ratio", "speedup");
+  for (uint64_t KiB : {2, 4, 8, 16}) {
+    CacheConfig Cfg;
+    Cfg.SizeBytes = KiB * 1024;
+    Cfg.Assoc = 8;
+    Cfg.BlockBytes = 64;
+    Cfg.Policy = PolicyKind::Plru;
+    HierarchyConfig H = HierarchyConfig::singleLevel(Cfg);
+
+    ConcreteSimulator Ref(P, H);
+    SimStats R = Ref.run();
+    WarpingSimulator Warp(P, H);
+    SimStats W = Warp.run();
+    if (W.Level[0].Misses != R.Level[0].Misses) {
+      std::fprintf(stderr, "mismatch at %s!\n", Cfg.str().c_str());
+      return 1;
+    }
+    std::printf("%-28s %12llu %12llu %11.2f%% %9.1fx\n", Cfg.str().c_str(),
+                static_cast<unsigned long long>(R.totalAccesses()),
+                static_cast<unsigned long long>(R.Level[0].Misses),
+                100.0 * R.Level[0].missRatio(), R.Seconds / W.Seconds);
+  }
+  std::printf("\nTriangular inner bounds couple the loop dimensions, so "
+              "warping opportunities are\nlimited here (the paper's "
+              "FurthestByDomains detects the changing trip counts);\n"
+              "the simulation stays exact either way.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- wcs/cache/ConcreteCache.h - Concrete caches & hierarchy --*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete (non-symbolic) caches and the one/two-level non-inclusive
+/// non-exclusive hierarchy of the paper's Eq. (24): the L2 is accessed
+/// exactly when the L1 misses, with the same block. An optional
+/// writeback-propagation mode additionally sends dirty L1 victims to the
+/// L2, for the richer reference model used as "measured" ground truth in
+/// the accuracy experiments (Figs. 11/13/14); the formal model used for
+/// warping does not propagate victims, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_CACHE_CONCRETECACHE_H
+#define WCS_CACHE_CONCRETECACHE_H
+
+#include "wcs/cache/SetAssocCache.h"
+
+#include <vector>
+
+namespace wcs {
+
+/// Line payload of a concrete cache: the block plus a dirty bit.
+struct ConcreteLine {
+  BlockId Block = kInvalidBlock;
+  bool Dirty = false;
+};
+
+using ConcreteCache = SetAssocCache<ConcreteLine>;
+
+/// Result of one hierarchy access.
+struct HierarchyOutcome {
+  bool L1Hit = false;
+  bool L2Accessed = false; ///< Only in two-level configurations.
+  bool L2Hit = false;
+  unsigned L2Writebacks = 0;      ///< Victim writes issued to the L2.
+  unsigned L2WritebackMisses = 0; ///< Of those, how many missed in L2.
+  unsigned BackInvalidations = 0; ///< Inclusive mode: L1 lines removed
+                                  ///< because their L2 copy was evicted.
+};
+
+/// A one- or two-level concrete cache hierarchy supporting all three
+/// inclusion policies (NINE per paper Eq. (24); inclusive with
+/// back-invalidation; exclusive with victim caching).
+class ConcreteHierarchy {
+public:
+  explicit ConcreteHierarchy(const HierarchyConfig &Config,
+                             bool PropagateWritebacks = false);
+
+  unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
+  const HierarchyConfig &config() const { return Cfg; }
+
+  ConcreteCache &level(unsigned I) { return Levels[I]; }
+  const ConcreteCache &level(unsigned I) const { return Levels[I]; }
+
+  /// Performs one memory access (paper Eq. (24) extended to writes).
+  HierarchyOutcome access(BlockId B, bool IsWrite);
+
+  void reset();
+
+private:
+  HierarchyConfig Cfg;
+  bool Writebacks;
+  std::vector<ConcreteCache> Levels;
+};
+
+} // namespace wcs
+
+#endif // WCS_CACHE_CONCRETECACHE_H

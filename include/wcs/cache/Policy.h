@@ -1,0 +1,78 @@
+//===- wcs/cache/Policy.h - Replacement policy primitives -------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-set replacement-policy primitives shared by the concrete and the
+/// symbolic cache (paper Sec. 2.1).
+///
+/// LRU and FIFO encode their state purely in the physical order of the
+/// ways (most-recent / last-in first), matching the paper's formalization
+/// where cache-line position equals recency rank; PLRU keeps per-set tree
+/// bits and Quad-age LRU keeps 2-bit ages, both with lines at fixed ways.
+/// All primitives depend only on way indices and metadata — never on block
+/// identities — which is exactly the data-independence property
+/// (Property 1) that warping exploits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_CACHE_POLICY_H
+#define WCS_CACHE_POLICY_H
+
+#include <cstdint>
+
+namespace wcs {
+
+/// Tree-based Pseudo-LRU over power-of-two associativity. Tree bits are
+/// stored heap-style in a uint32 (node 1 = root); bit == 1 means "the
+/// victim path continues right".
+struct PlruOps {
+  /// Updates \p Bits after an access to \p Way (points the path away).
+  static void touch(uint32_t &Bits, unsigned Assoc, unsigned Way);
+  /// Returns the way selected for eviction by following the tree bits.
+  static unsigned victim(uint32_t Bits, unsigned Assoc);
+};
+
+/// Quad-age LRU modeled as 2-bit RRIP (paper reference [40], Jaleel et
+/// al.): hit promotes to age 0, insertion uses age 2, the victim is the
+/// lowest-index way of age 3, aging all ways when none qualifies. The
+/// "aging" step is applied by the caller via victimAging on the per-way
+/// age array.
+struct QlruOps {
+  static constexpr uint8_t HitAge = 0;
+  static constexpr uint8_t InsertAge = 2;
+  static constexpr uint8_t EvictAge = 3;
+
+  /// Selects a victim among \p Assoc ways, aging in place as needed.
+  static unsigned victimAging(uint8_t *Ages, unsigned Assoc);
+};
+
+/// Moves element \p Way of \p Ways to the front, shifting [0, Way) down by
+/// one. Used to maintain the recency order of LRU sets.
+template <typename LineT>
+void rotateToFront(LineT *Ways, unsigned Way) {
+  if (Way == 0)
+    return;
+  LineT Tmp = Ways[Way];
+  for (unsigned I = Way; I > 0; --I)
+    Ways[I] = Ways[I - 1];
+  Ways[0] = Tmp;
+}
+
+/// Shifts all of [0, Assoc-1) down by one, freeing position 0; the caller
+/// overwrites position 0 with the newly inserted line. The previous last
+/// element (the LRU / first-in line) is returned by value.
+template <typename LineT>
+LineT shiftDownForInsert(LineT *Ways, unsigned Assoc) {
+  LineT Last = Ways[Assoc - 1];
+  for (unsigned I = Assoc - 1; I > 0; --I)
+    Ways[I] = Ways[I - 1];
+  return Last;
+}
+
+} // namespace wcs
+
+#endif // WCS_CACHE_POLICY_H

@@ -1,0 +1,307 @@
+//===- wcs/cache/SetAssocCache.h - Generic set-associative cache -*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative cache over an arbitrary line payload, shared by the
+/// concrete simulator (payload: block + dirty bit) and the symbolic warping
+/// simulator (payload: block + symbolic tag).
+///
+/// Two features exist specifically for warping (paper Sec. 5):
+///  - logical-to-physical set indirection, so that applying the set
+///    rotation pi_rot^n of Theorem 4 is an O(1) base-offset update;
+///  - the most-recently-accessed set is tracked, anchoring the
+///    rotation-invariant state hash of Algorithm 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_CACHE_SETASSOCCACHE_H
+#define WCS_CACHE_SETASSOCCACHE_H
+
+#include "wcs/cache/CacheConfig.h"
+#include "wcs/cache/Policy.h"
+#include "wcs/support/MathUtil.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace wcs {
+
+/// Memory-block identifier (byte address / block size). Non-negative for
+/// real blocks; kInvalidBlock marks empty cache lines.
+using BlockId = int64_t;
+inline constexpr BlockId kInvalidBlock = -1;
+
+/// Outcome of a single cache access.
+struct AccessOutcome {
+  bool Hit = false;
+  bool Inserted = false;   ///< A new line was allocated.
+  unsigned Set = 0;        ///< Logical set index.
+  unsigned Way = 0;        ///< Way of the (hit or inserted) line.
+  bool EvictedValid = false;
+  bool EvictedDirty = false;
+  BlockId EvictedBlock = kInvalidBlock;
+};
+
+/// Set-associative cache with pluggable line payload.
+///
+/// \tparam LineT must provide members `BlockId Block` and `bool Dirty`,
+/// be cheaply copyable, and default-construct to an invalid line
+/// (`Block == kInvalidBlock`).
+template <typename LineT>
+class SetAssocCache {
+public:
+  explicit SetAssocCache(const CacheConfig &Config)
+      : Cfg(Config), Sets(Config.numSets()), Assoc(Config.Assoc),
+        SetMask(Sets - 1), Lines(static_cast<size_t>(Sets) * Assoc),
+        PlruBits(Sets, 0),
+        Ages(Config.Policy == PolicyKind::QuadAgeLru
+                 ? static_cast<size_t>(Sets) * Assoc
+                 : 0,
+             QlruOps::EvictAge) {
+    assert(Config.validate().empty() && "invalid cache configuration");
+  }
+
+  const CacheConfig &config() const { return Cfg; }
+  unsigned numSets() const { return Sets; }
+  unsigned assoc() const { return Assoc; }
+
+  /// Logical set of a block under modulo placement.
+  unsigned setOf(BlockId B) const {
+    return static_cast<unsigned>(static_cast<uint64_t>(B) & SetMask);
+  }
+
+  /// Most-recently-accessed logical set (hash anchor for warping).
+  unsigned mraSet() const { return MraSet; }
+
+  /// The full payload of the line evicted by the most recent inserting
+  /// access (valid when AccessOutcome::EvictedValid). Exclusive
+  /// hierarchies use this to migrate a victim (with its symbolic tag)
+  /// into the next level.
+  const LineT &lastEvicted() const { return EvictedLine; }
+
+  /// Accesses block \p B. On a miss with \p Allocate, the block is
+  /// inserted and the victim (if any) reported in the outcome. The caller
+  /// is responsible for updating the payload at (Set, Way) after the call
+  /// (e.g. refreshing the symbolic tag, setting the dirty bit).
+  AccessOutcome access(BlockId B, bool Allocate) {
+    assert(B >= 0 && "accessing an invalid block");
+    unsigned S = setOf(B);
+    MraSet = S;
+    LineT *W = setLines(S);
+    AccessOutcome R;
+    R.Set = S;
+    for (unsigned I = 0; I < Assoc; ++I) {
+      if (W[I].Block == B) {
+        R.Hit = true;
+        R.Way = onHit(S, W, I);
+        return R;
+      }
+    }
+    if (!Allocate)
+      return R;
+    R.Inserted = true;
+    R.Way = onFill(S, W, B, R);
+    return R;
+  }
+
+  /// True if \p B is currently cached (no state change).
+  bool probe(BlockId B) const {
+    const LineT *W = setLines(setOf(B));
+    for (unsigned I = 0; I < Assoc; ++I)
+      if (W[I].Block == B)
+        return true;
+    return false;
+  }
+
+  /// Invalidates \p B if present (back-invalidation in inclusive
+  /// hierarchies, or the L2->L1 promotion of exclusive hierarchies).
+  /// Returns the removed line, or std::nullopt. Under LRU/FIFO the
+  /// remaining lines keep their relative order (the freed slot sinks to
+  /// the back); PLRU/QLRU metadata for the slot is reset.
+  std::optional<LineT> invalidate(BlockId B) {
+    unsigned S = setOf(B);
+    LineT *W = setLines(S);
+    for (unsigned I = 0; I < Assoc; ++I) {
+      if (W[I].Block != B)
+        continue;
+      LineT Removed = W[I];
+      switch (Cfg.Policy) {
+      case PolicyKind::Lru:
+      case PolicyKind::Fifo:
+        // Close the recency gap; empty lines live at the back.
+        for (unsigned J = I; J + 1 < Assoc; ++J)
+          W[J] = W[J + 1];
+        W[Assoc - 1] = LineT();
+        break;
+      case PolicyKind::Plru:
+        W[I] = LineT();
+        break;
+      case PolicyKind::QuadAgeLru:
+        W[I] = LineT();
+        Ages[static_cast<size_t>(phys(S)) * Assoc + I] = QlruOps::EvictAge;
+        break;
+      }
+      return Removed;
+    }
+    return std::nullopt;
+  }
+
+  /// Line accessors by logical set index.
+  LineT &line(unsigned Set, unsigned Way) {
+    return Lines[static_cast<size_t>(phys(Set)) * Assoc + Way];
+  }
+  const LineT &line(unsigned Set, unsigned Way) const {
+    return Lines[static_cast<size_t>(phys(Set)) * Assoc + Way];
+  }
+
+  uint32_t plruBits(unsigned Set) const { return PlruBits[phys(Set)]; }
+  uint8_t age(unsigned Set, unsigned Way) const {
+    assert(!Ages.empty() && "ages only exist under Quad-age LRU");
+    return Ages[static_cast<size_t>(phys(Set)) * Assoc + Way];
+  }
+
+  /// Per-set policy metadata as a single word, for hashing and state
+  /// comparison. Captures PLRU tree bits or QLRU ages; LRU/FIFO state is
+  /// already encoded in the line order.
+  uint64_t policyWord(unsigned Set) const {
+    switch (Cfg.Policy) {
+    case PolicyKind::Lru:
+    case PolicyKind::Fifo:
+      return 0;
+    case PolicyKind::Plru:
+      return PlruBits[phys(Set)];
+    case PolicyKind::QuadAgeLru: {
+      uint64_t W = 0;
+      const uint8_t *A = &Ages[static_cast<size_t>(phys(Set)) * Assoc];
+      for (unsigned I = 0; I < Assoc; ++I)
+        W = (W << 2) | A[I];
+      return W;
+    }
+    }
+    return 0;
+  }
+
+  /// Applies the set rotation `s -> s + Amount (mod Sets)` to the whole
+  /// cache state in O(1) (paper Theorem 4: warping rotates cache sets).
+  /// Line payloads are NOT rewritten; the symbolic layer re-derives
+  /// concrete blocks from tags after a warp.
+  void rotateSets(int64_t Amount) {
+    Base = static_cast<unsigned>(
+        static_cast<uint64_t>(Base + floorMod(-Amount, Sets)) & SetMask);
+    MraSet = static_cast<unsigned>(
+        static_cast<uint64_t>(MraSet + floorMod(Amount, Sets)) & SetMask);
+  }
+
+  /// Resets to the empty cache.
+  void reset() {
+    for (LineT &L : Lines)
+      L = LineT();
+    std::fill(PlruBits.begin(), PlruBits.end(), 0u);
+    std::fill(Ages.begin(), Ages.end(), QlruOps::EvictAge);
+    Base = 0;
+    MraSet = 0;
+  }
+
+private:
+  unsigned phys(unsigned LogicalSet) const {
+    return static_cast<unsigned>(
+        static_cast<uint64_t>(LogicalSet + Base) & SetMask);
+  }
+
+  LineT *setLines(unsigned LogicalSet) {
+    return &Lines[static_cast<size_t>(phys(LogicalSet)) * Assoc];
+  }
+  const LineT *setLines(unsigned LogicalSet) const {
+    return &Lines[static_cast<size_t>(phys(LogicalSet)) * Assoc];
+  }
+
+  /// Policy update on a hit at way \p I; returns the way where the line
+  /// now lives (LRU moves it to the front).
+  unsigned onHit(unsigned S, LineT *W, unsigned I) {
+    switch (Cfg.Policy) {
+    case PolicyKind::Lru:
+      rotateToFront(W, I);
+      return 0;
+    case PolicyKind::Fifo:
+      return I;
+    case PolicyKind::Plru:
+      PlruOps::touch(PlruBits[phys(S)], Assoc, I);
+      return I;
+    case PolicyKind::QuadAgeLru:
+      Ages[static_cast<size_t>(phys(S)) * Assoc + I] = QlruOps::HitAge;
+      return I;
+    }
+    return I;
+  }
+
+  /// Inserts block \p B into set \p S; returns the way used and records
+  /// the victim in \p R.
+  unsigned onFill(unsigned S, LineT *W, BlockId B, AccessOutcome &R) {
+    unsigned Way = 0;
+    switch (Cfg.Policy) {
+    case PolicyKind::Lru:
+    case PolicyKind::Fifo: {
+      LineT Last = shiftDownForInsert(W, Assoc);
+      recordVictim(Last, R);
+      Way = 0;
+      break;
+    }
+    case PolicyKind::Plru: {
+      Way = firstInvalid(W);
+      if (Way == Assoc)
+        Way = PlruOps::victim(PlruBits[phys(S)], Assoc);
+      recordVictim(W[Way], R);
+      PlruOps::touch(PlruBits[phys(S)], Assoc, Way);
+      break;
+    }
+    case PolicyKind::QuadAgeLru: {
+      uint8_t *A = &Ages[static_cast<size_t>(phys(S)) * Assoc];
+      Way = firstInvalid(W);
+      if (Way == Assoc)
+        Way = QlruOps::victimAging(A, Assoc);
+      recordVictim(W[Way], R);
+      A[Way] = QlruOps::InsertAge;
+      break;
+    }
+    }
+    W[Way] = LineT();
+    W[Way].Block = B;
+    return Way;
+  }
+
+  unsigned firstInvalid(const LineT *W) const {
+    for (unsigned I = 0; I < Assoc; ++I)
+      if (W[I].Block == kInvalidBlock)
+        return I;
+    return Assoc;
+  }
+
+  void recordVictim(const LineT &L, AccessOutcome &R) {
+    R.EvictedValid = L.Block != kInvalidBlock;
+    R.EvictedDirty = R.EvictedValid && L.Dirty;
+    R.EvictedBlock = L.Block;
+    if (R.EvictedValid)
+      EvictedLine = L;
+  }
+
+  CacheConfig Cfg;
+  unsigned Sets;
+  unsigned Assoc;
+  uint64_t SetMask;
+  unsigned Base = 0;   ///< Logical-to-physical set rotation offset.
+  unsigned MraSet = 0; ///< Most-recently-accessed logical set.
+  LineT EvictedLine;   ///< Payload of the most recent victim.
+  std::vector<LineT> Lines;
+  std::vector<uint32_t> PlruBits;
+  std::vector<uint8_t> Ages;
+};
+
+} // namespace wcs
+
+#endif // WCS_CACHE_SETASSOCCACHE_H

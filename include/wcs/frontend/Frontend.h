@@ -1,0 +1,71 @@
+//===- wcs/frontend/Frontend.h - SCoP dialect entry point -------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the wcs frontend: parse a kernel written in
+/// the C-like loop-nest dialect and lower it to a ScopProgram under a
+/// concrete parameter binding. This plays the role of pet [63] in the
+/// paper's toolchain.
+///
+/// The dialect (see the test suite for many examples):
+/// \code
+///   param N;                      // bound via the Params argument,
+///   param M = 64;                 // optionally with a default
+///   double A[N][M]; double x[M]; // arrays (double/float/long: 8/4/8 B)
+///   double alpha;                 // scalars = 0-dim arrays
+///
+///   for (i = 0; i < N; i++) {     // stride +1/-1 and +=c/-=c loops
+///     x[i] = 0.0;
+///     if (i >= 1 && i < N - 1)    // affine guards, && conjunction
+///       for (j = i; j < M; j--)   // affine (triangular) bounds
+///         x[i] = x[i] + A[i][j] * alpha;
+///   }
+/// \endcode
+///
+/// Assignments `=`, `+=`, `-=`, `*=`, `/=` generate access nodes: a
+/// compound assignment reads its left-hand side first, then the right-hand
+/// side reads in source order, then writes the left-hand side; a plain
+/// assignment skips the initial read. Calls (sqrt, min, max, ...) read
+/// their array/scalar arguments. Array subscripts must be affine in the
+/// loop iterators; loops with stride other than +-1 require bounds that
+/// are constant under the parameter binding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_FRONTEND_FRONTEND_H
+#define WCS_FRONTEND_FRONTEND_H
+
+#include "wcs/frontend/Lexer.h"
+#include "wcs/scop/Program.h"
+
+#include <map>
+#include <string>
+
+namespace wcs {
+
+/// Result of parsing + lowering a kernel source.
+struct ParseResult {
+  ScopProgram Program;
+  std::string Error; ///< Empty on success.
+  SrcLoc ErrorLoc;
+
+  bool ok() const { return Error.empty(); }
+  /// "line L, column C: message" for diagnostics.
+  std::string message() const;
+};
+
+/// Parses \p Source under the parameter binding \p Params, producing a
+/// finalized ScopProgram named \p Name with array layout aligned to
+/// \p AlignBytes.
+ParseResult parseScop(const std::string &Source,
+                      const std::map<std::string, int64_t> &Params = {},
+                      const std::string &Name = "scop",
+                      int64_t AlignBytes = 4096);
+
+} // namespace wcs
+
+#endif // WCS_FRONTEND_FRONTEND_H

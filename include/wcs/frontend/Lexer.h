@@ -1,0 +1,100 @@
+//===- wcs/frontend/Lexer.h - Tokenizer for the SCoP dialect ----*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the C-like loop-nest dialect accepted by the wcs
+/// frontend (the "mini-pet"; the paper uses pet [63] for this role).
+/// Supports identifiers, integer and floating literals, the punctuation
+/// and operators of C expressions/for/if statements, and // and /* */
+/// comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_FRONTEND_LEXER_H
+#define WCS_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace wcs {
+
+/// Source location (1-based).
+struct SrcLoc {
+  int Line = 1;
+  int Col = 1;
+};
+
+struct Token {
+  enum class Kind {
+    End,
+    Ident,
+    IntLit,
+    FloatLit,
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,     // =
+    PlusAssign, // +=
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Error,
+  };
+
+  Kind K = Kind::End;
+  std::string Text;   ///< Identifier spelling or literal text.
+  int64_t IntValue = 0;
+  SrcLoc Loc;
+
+  bool is(Kind Other) const { return K == Other; }
+};
+
+const char *tokenKindName(Token::Kind K);
+
+/// Single-pass tokenizer with one-token lookahead handled by the parser.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Returns the next token, advancing. Malformed input yields a token of
+  /// kind Error whose Text describes the problem.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool skipWhitespaceAndComments(Token &ErrOut);
+
+  std::string Src;
+  size_t Pos = 0;
+  SrcLoc Loc;
+};
+
+} // namespace wcs
+
+#endif // WCS_FRONTEND_LEXER_H

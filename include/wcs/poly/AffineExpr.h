@@ -1,0 +1,91 @@
+//===- wcs/poly/AffineExpr.h - Affine expressions over iterators -*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine expressions `c0 + c1*i1 + ... + cn*in` over loop iterators.
+/// These are the building blocks of iteration domains (paper Sec. 3.1) and
+/// of access functions (paper Sec. 3.2). Parameters (problem sizes) are
+/// bound to constants before a ScopProgram is built, so expressions only
+/// range over loop iterators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_POLY_AFFINEEXPR_H
+#define WCS_POLY_AFFINEEXPR_H
+
+#include "wcs/support/IterVec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcs {
+
+/// An affine expression over a fixed number of iterator dimensions.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  /// Creates the zero expression over \p NumDims dimensions.
+  explicit AffineExpr(unsigned NumDims) : Coeffs(NumDims, 0) {}
+
+  /// Creates a constant expression over \p NumDims dimensions.
+  static AffineExpr constant(unsigned NumDims, int64_t C);
+
+  /// Creates the expression `1 * dim`.
+  static AffineExpr dim(unsigned NumDims, unsigned Dim);
+
+  unsigned numDims() const { return static_cast<unsigned>(Coeffs.size()); }
+
+  int64_t coeff(unsigned Dim) const { return Coeffs[Dim]; }
+  void setCoeff(unsigned Dim, int64_t C) { Coeffs[Dim] = C; }
+
+  int64_t constantTerm() const { return Const; }
+  void setConstantTerm(int64_t C) { Const = C; }
+
+  /// True if every iterator coefficient is zero.
+  bool isConstant() const;
+
+  /// True if the linear parts (all coefficients, ignoring the constant
+  /// term) of this and \p Other are identical. This is the "same
+  /// coefficients" test of the paper's FurthestByOverlap.
+  bool sameLinearPart(const AffineExpr &Other) const;
+
+  /// Evaluates the expression at iteration point \p At. \p At must provide
+  /// at least numDims() values; extra values are ignored so callers can
+  /// evaluate a shallow access function under a deeper iterator state.
+  int64_t eval(const IterVec &At) const;
+
+  /// Returns this expression extended (zero coefficients) to \p NumDims.
+  AffineExpr extendedTo(unsigned NumDims) const;
+
+  AffineExpr operator+(const AffineExpr &O) const;
+  AffineExpr operator-(const AffineExpr &O) const;
+  AffineExpr operator-() const;
+  AffineExpr operator*(int64_t S) const;
+
+  AffineExpr &operator+=(const AffineExpr &O);
+  AffineExpr &operator+=(int64_t C) {
+    Const += C;
+    return *this;
+  }
+
+  friend bool operator==(const AffineExpr &A, const AffineExpr &B) {
+    return A.Const == B.Const && A.Coeffs == B.Coeffs;
+  }
+
+  /// Renders the expression using \p DimNames (or i0, i1, ... if empty).
+  std::string str(const std::vector<std::string> &DimNames = {}) const;
+
+private:
+  std::vector<int64_t> Coeffs;
+  int64_t Const = 0;
+};
+
+} // namespace wcs
+
+#endif // WCS_POLY_AFFINEEXPR_H

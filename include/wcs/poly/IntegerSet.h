@@ -1,0 +1,69 @@
+//===- wcs/poly/IntegerSet.h - Unions of convex sets ------------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Presburger-lite integer set: a finite union of convex sets. Loop and
+/// access iteration domains are represented as IntegerSets. PolyBench
+/// domains are single-disjunct; unions arise only from disjunctive guards,
+/// which the warping applicability checks treat conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_POLY_INTEGERSET_H
+#define WCS_POLY_INTEGERSET_H
+
+#include "wcs/poly/ConvexSet.h"
+
+#include <string>
+#include <vector>
+
+namespace wcs {
+
+/// A finite union of convex integer sets over a common dimension count.
+class IntegerSet {
+public:
+  IntegerSet() = default;
+  explicit IntegerSet(ConvexSet S) : Dims(S.numDims()) {
+    Parts.push_back(std::move(S));
+  }
+
+  static IntegerSet universe(unsigned NumDims) {
+    return IntegerSet(ConvexSet::universe(NumDims));
+  }
+
+  unsigned numDims() const { return Dims; }
+  bool isSingleDisjunct() const { return Parts.size() == 1; }
+  const std::vector<ConvexSet> &disjuncts() const { return Parts; }
+
+  /// The unique disjunct; asserts isSingleDisjunct().
+  const ConvexSet &onlyDisjunct() const;
+
+  void addDisjunct(ConvexSet S);
+
+  /// Intersects every disjunct with \p S (dimensions must match).
+  void intersectWith(const ConvexSet &S);
+
+  IntegerSet extendedTo(unsigned NumDims) const;
+
+  bool contains(const IterVec &At) const;
+
+  /// Union of per-disjunct bounds of the last dimension under \p Prefix
+  /// (the hull interval; exact for single disjuncts). Membership inside
+  /// the hull must be re-tested with contains() when there are multiple
+  /// disjuncts.
+  std::optional<VarBounds> lastDimBounds(const IterVec &Prefix) const;
+
+  std::string str(const std::vector<std::string> &DimNames = {}) const;
+
+private:
+  unsigned Dims = 0;
+  std::vector<ConvexSet> Parts;
+};
+
+} // namespace wcs
+
+#endif // WCS_POLY_INTEGERSET_H

@@ -1,0 +1,101 @@
+//===- wcs/sim/SimConfig.h - Simulation options -----------------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Options shared by the simulators, and the engineering bounds of the
+/// warping search. All bounds are soundness-neutral: exceeding them only
+/// forfeits warping opportunities, never correctness (validated by the
+/// warping == non-warping equivalence suite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SIM_SIMCONFIG_H
+#define WCS_SIM_SIMCONFIG_H
+
+#include <cstdint>
+
+namespace wcs {
+
+/// Bounds of the warping search (Algorithm 2).
+struct WarpConfig {
+  bool Enable = true;
+
+  /// State keys are only computed for the first MaxProbeIters iterations
+  /// of a loop activation. The window must cover the cold-start
+  /// transient: periodic states only appear once the initial cache
+  /// content has been flushed, which for a dense stream takes on the
+  /// order of (cache lines) * (elements per block) iterations.
+  unsigned MaxProbeIters = 4096;
+
+  /// Snapshots are stored in a per-activation ring: when full, the
+  /// oldest snapshot is overwritten (and its stored entry invalidated).
+  /// Recycling makes cold-start transients harmless -- their useless
+  /// snapshots age out -- while one matching snapshot suffices to warp
+  /// the whole tail of a loop. Together with MinSnapshotSpacing, the
+  /// ring covers the last SnapshotRingSize * MinSnapshotSpacing
+  /// iterations, which should be at least MaxDelta.
+  unsigned SnapshotRingSize = 64;
+
+  /// Snapshots compared per state-key bucket.
+  unsigned MaxSnapshotsPerBucket = 2;
+
+  /// Minimum iteration distance between stored snapshots (global within
+  /// an activation). State keys often recur at adjacent iterations (the
+  /// key is deliberately insensitive to the warped iterator); spacing
+  /// stretches the ring's reach and avoids copying near-duplicates.
+  int64_t MinSnapshotSpacing = 16;
+
+  /// Match distances above this cap are rejected outright when any
+  /// access node's domain couples the warped iterator with inner
+  /// dimensions (triangular bounds): the coupled FurthestByDomains path
+  /// solves Fourier-Motzkin systems per residue class, so large deltas
+  /// would make *failed* checks expensive. Rotating matches with large
+  /// deltas only arise for uncoupled (rectangular) domains, which use
+  /// the closed-form fast path.
+  int64_t MaxDeltaForCoupledDomains = 32;
+
+  /// Loops with at most this many iterations snapshot on the *first*
+  /// occurrence of a key instead of the second. Short loops (outer time
+  /// loops in particular) cannot afford to burn a whole state period on
+  /// the two-phase discipline, and their snapshot volume is tiny.
+  int64_t EagerSnapshotTripLimit = 128;
+
+  /// Maximum match distance delta = x1 - x0 considered for warping.
+  /// Under PLRU / Quad-age LRU the way-placement pattern of a dense
+  /// stream can take several block periods to recur (empirically ~16
+  /// blocks), so this must comfortably exceed
+  /// (elements per block) * (a few way-placement cycles).
+  int64_t MaxDelta = 512;
+
+  /// A loop node stops probing after this many consecutive activations
+  /// that probed at least MinProbesForLearning iterations without a
+  /// single successful warp (keeps non-warping kernels near 1x cost).
+  unsigned DisableAfterFailedActivations = 4;
+  unsigned MinProbesForLearning = 32;
+
+  /// Profit guard: after ProfitGuardActivations activations of a loop
+  /// node, probing is disabled if the accesses saved by warping stay
+  /// below the (access-equivalent) cost of probing and snapshotting.
+  /// Loops that warp but with poor return (e.g. short inner loops whose
+  /// pattern period is a large fraction of their trip count) then fall
+  /// back to plain symbolic simulation.
+  bool EnableProfitGuard = true;
+  unsigned ProfitGuardActivations = 8;
+};
+
+/// Options shared by all simulators.
+struct SimOptions {
+  /// Include scalar (zero-dimensional) accesses. The paper's tool counts
+  /// array accesses only (Sec. 6.4), so the default is off.
+  bool IncludeScalars = false;
+
+  WarpConfig Warp;
+};
+
+} // namespace wcs
+
+#endif // WCS_SIM_SIMCONFIG_H

@@ -1,0 +1,63 @@
+//===- wcs/sim/SimStats.h - Simulation counters -----------------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters produced by the simulators: per-level access/miss counts plus
+/// warping diagnostics (share of non-warped accesses, Fig. 6 top panel).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SIM_SIMSTATS_H
+#define WCS_SIM_SIMSTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace wcs {
+
+/// Access/miss counters of one cache level.
+struct LevelStats {
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+
+  uint64_t hits() const { return Accesses - Misses; }
+  double missRatio() const {
+    return Accesses == 0 ? 0.0 : static_cast<double>(Misses) / Accesses;
+  }
+};
+
+/// Full result of one simulation run.
+struct SimStats {
+  unsigned NumLevels = 1;
+  LevelStats Level[2];
+
+  /// Accesses performed by explicit (symbolic or concrete) simulation.
+  uint64_t SimulatedAccesses = 0;
+  /// Accesses accounted for analytically by warping (Theorem 4).
+  uint64_t WarpedAccesses = 0;
+  /// Number of successful warp applications.
+  uint64_t Warps = 0;
+  /// Warp candidates that matched the state hash but failed verification
+  /// or the applicability checks of IterationsToWarp.
+  uint64_t FailedWarpChecks = 0;
+
+  /// Wall-clock seconds spent inside the simulation loop.
+  double Seconds = 0.0;
+
+  uint64_t totalAccesses() const { return Level[0].Accesses; }
+  /// Share of accesses that had to be simulated explicitly (Fig. 6 top).
+  double nonWarpedShare() const {
+    uint64_t T = totalAccesses();
+    return T == 0 ? 1.0 : static_cast<double>(SimulatedAccesses) / T;
+  }
+
+  std::string str() const;
+};
+
+} // namespace wcs
+
+#endif // WCS_SIM_SIMSTATS_H

@@ -1,0 +1,74 @@
+//===- wcs/sim/SymbolicCache.h - Symbolic cache states ----------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic cache states (paper Sec. 5.2): every cache line carries, in
+/// addition to its concrete block, a *tag* identifying the access-node
+/// instance (node id + iteration vector) that last touched it. Tags are
+/// the symbolic memory blocks of the paper: interpreting a tag under its
+/// iteration vector yields the concrete block, and shifting the iteration
+/// vector re-concretizes the line after a warp. Tags are refreshed on
+/// every hit (the paper's SymUpSet) and adapted lazily rather than on
+/// every iterator increment (paper footnote 2): they store absolute
+/// iteration vectors and are relativized on demand by the warp engine.
+///
+/// SymbolicHierarchy is the one/two-level composition with the update of
+/// paper Eq. (24): the L2 is accessed exactly on L1 misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SIM_SYMBOLICCACHE_H
+#define WCS_SIM_SYMBOLICCACHE_H
+
+#include "wcs/cache/SetAssocCache.h"
+#include "wcs/scop/Program.h"
+#include "wcs/support/IterVec.h"
+
+#include <vector>
+
+namespace wcs {
+
+/// A symbolic cache line: concrete block + installing access instance.
+struct SymLine {
+  BlockId Block = kInvalidBlock;
+  bool Dirty = false;
+  int32_t NodeId = -1; ///< AccessNode::Id of the last touch; -1 if none.
+  IterVec Iter;        ///< Iteration vector of the last touch.
+};
+
+using SymbolicCache = SetAssocCache<SymLine>;
+
+/// Result of one symbolic hierarchy access.
+struct SymAccessOutcome {
+  bool L1Hit = false;
+  bool L2Accessed = false;
+  bool L2Hit = false;
+};
+
+/// One- or two-level symbolic hierarchy with Eq. (24) semantics.
+/// Copyable: warp snapshots are whole-object copies.
+class SymbolicHierarchy {
+public:
+  explicit SymbolicHierarchy(const HierarchyConfig &Config);
+
+  unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
+  SymbolicCache &level(unsigned I) { return Levels[I]; }
+  const SymbolicCache &level(unsigned I) const { return Levels[I]; }
+
+  /// Performs one access by node \p NodeId at iteration \p Iter touching
+  /// block \p B, refreshing the tags of all touched lines.
+  SymAccessOutcome access(BlockId B, bool IsWrite, int32_t NodeId,
+                          const IterVec &Iter);
+
+private:
+  InclusionPolicy Inclusion = InclusionPolicy::NonInclusiveNonExclusive;
+  std::vector<SymbolicCache> Levels;
+};
+
+} // namespace wcs
+
+#endif // WCS_SIM_SYMBOLICCACHE_H

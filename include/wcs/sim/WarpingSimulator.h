@@ -1,0 +1,89 @@
+//===- wcs/sim/WarpingSimulator.h - Algorithm 2 ----------------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Warping symbolic cache simulation (paper Algorithm 2). Each loop-node
+/// activation keeps a hash map of the symbolic cache states reached at
+/// the top of its iterations (fresh per activation: warping is attempted
+/// only across iterations of one loop while the enclosing iterators are
+/// fixed, as in the paper). When the current state's key recurs, the
+/// engine verifies the match under set rotations, bounds the number of
+/// warpable iterations (IterationsToWarp), and fast-forwards: iteration
+/// counter, per-level access/miss counters and the symbolic state all
+/// advance analytically.
+///
+/// Storage discipline: the first occurrence of a key records only a
+/// marker; a snapshot (full symbolic state copy) is taken on the second
+/// occurrence; later occurrences attempt warps against the stored
+/// snapshots. Loops whose activations repeatedly probe without ever
+/// warping stop probing (see WarpConfig), keeping non-warping kernels at
+/// ordinary-simulation cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SIM_WARPINGSIMULATOR_H
+#define WCS_SIM_WARPINGSIMULATOR_H
+
+#include "wcs/scop/Program.h"
+#include "wcs/sim/SimConfig.h"
+#include "wcs/sim/SimStats.h"
+#include "wcs/sim/SymbolicCache.h"
+#include "wcs/sim/WarpEngine.h"
+
+#include <memory>
+
+namespace wcs {
+
+/// Warping symbolic simulator (paper Algorithm 2).
+class WarpingSimulator {
+public:
+  WarpingSimulator(const ScopProgram &Program, const HierarchyConfig &Cache,
+                   SimOptions Options = SimOptions());
+
+  /// Simulates the whole program on an initially empty hierarchy.
+  SimStats run();
+
+  /// The symbolic hierarchy state after run().
+  const SymbolicHierarchy &hierarchy() const { return Cache; }
+
+  ~WarpingSimulator();
+
+private:
+  void runNode(const Node *N, IterVec &Iter);
+  void runLoop(const LoopNode *L, IterVec &Iter);
+  void runAccess(const AccessNode *A, const IterVec &Iter);
+
+  /// Per-nesting-depth activation scratch (hash map + snapshot storage),
+  /// pooled across activations to avoid allocation churn in loops with
+  /// many short activations.
+  struct Activation;
+  Activation &activationAtDepth(unsigned Depth);
+
+  const ScopProgram &Program;
+  HierarchyConfig CacheCfg;
+  SymbolicHierarchy Cache;
+  WarpEngine Engine;
+  SimOptions Options;
+  SimStats Stats;
+  unsigned BlockShift;
+  /// Per-loop learning state: consecutive fully-probed activations with
+  /// no warp; probing disabled once the threshold is reached.
+  std::vector<unsigned> LoopFailures;
+  std::vector<uint8_t> LoopDisabled;
+  /// Profit-guard accounting (in access-equivalents) per loop node.
+  std::vector<uint64_t> ProbeCost;
+  std::vector<uint64_t> ProbeGain;
+  std::vector<unsigned> GuardedActivations;
+  /// Per-loop viable-delta unit (-1 = not yet computed; 0 = never warps).
+  std::vector<int64_t> DeltaUnit;
+  uint64_t TotalLines = 0;
+  std::vector<std::unique_ptr<Activation>> Pools;
+};
+
+} // namespace wcs
+
+#endif // WCS_SIM_WARPINGSIMULATOR_H

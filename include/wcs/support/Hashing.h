@@ -1,0 +1,52 @@
+//===- wcs/support/Hashing.h - 64-bit hashing utilities ---------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic 64-bit hashing used for symbolic cache-state keys.
+/// The warping simulator hashes full symbolic cache states once per loop
+/// iteration probe, so the mixer is a cheap splitmix64-style function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SUPPORT_HASHING_H
+#define WCS_SUPPORT_HASHING_H
+
+#include <cstdint>
+
+namespace wcs {
+
+/// splitmix64 finalizer; a solid, fast 64-bit mixer.
+inline uint64_t hashMix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Combines an existing hash with a new value, order-sensitively.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return hashMix(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                         (Seed >> 2)));
+}
+
+/// Incremental order-sensitive hasher for streaming state fingerprints.
+class HashStream {
+public:
+  void add(uint64_t V) { State = hashCombine(State, V); }
+  void add(int64_t V) { add(static_cast<uint64_t>(V)); }
+  void add(int32_t V) { add(static_cast<uint64_t>(static_cast<uint64_t>(V))); }
+  void add(uint32_t V) { add(static_cast<uint64_t>(V)); }
+
+  uint64_t digest() const { return State; }
+
+private:
+  uint64_t State = 0x2545f4914f6cdd1dULL;
+};
+
+} // namespace wcs
+
+#endif // WCS_SUPPORT_HASHING_H

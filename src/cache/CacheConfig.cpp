@@ -1,0 +1,133 @@
+//===- cache/CacheConfig.cpp ----------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/cache/CacheConfig.h"
+
+#include "wcs/support/MathUtil.h"
+
+#include <sstream>
+
+using namespace wcs;
+
+const char *wcs::policyName(PolicyKind K) {
+  switch (K) {
+  case PolicyKind::Lru:
+    return "LRU";
+  case PolicyKind::Fifo:
+    return "FIFO";
+  case PolicyKind::Plru:
+    return "PLRU";
+  case PolicyKind::QuadAgeLru:
+    return "QLRU";
+  }
+  return "?";
+}
+
+std::string CacheConfig::validate() const {
+  if (BlockBytes == 0 || !isPowerOf2(BlockBytes))
+    return "block size must be a power of two";
+  if (Assoc == 0 || Assoc > 64)
+    return "associativity must be in [1, 64]";
+  if (SizeBytes == 0 || SizeBytes % (static_cast<uint64_t>(Assoc) *
+                                     BlockBytes) != 0)
+    return "cache size must be a multiple of associativity * block size";
+  if (!isPowerOf2(numSets()))
+    return "number of sets must be a power of two (modulo placement)";
+  if (Policy == PolicyKind::Plru && !isPowerOf2(Assoc))
+    return "PLRU requires power-of-two associativity";
+  return "";
+}
+
+std::string CacheConfig::str() const {
+  std::ostringstream OS;
+  if (SizeBytes % 1024 == 0)
+    OS << SizeBytes / 1024 << "KiB";
+  else
+    OS << SizeBytes << "B";
+  OS << " " << Assoc << "-way " << policyName(Policy) << " " << BlockBytes
+     << "B-lines"
+     << (WriteAlloc == WriteAllocate::Yes ? " WA" : " NWA");
+  return OS.str();
+}
+
+CacheConfig CacheConfig::testSystemL1() {
+  return CacheConfig{32 * 1024, 8, 64, PolicyKind::Plru, WriteAllocate::Yes};
+}
+
+CacheConfig CacheConfig::testSystemL2() {
+  return CacheConfig{1024 * 1024, 16, 64, PolicyKind::QuadAgeLru,
+                     WriteAllocate::Yes};
+}
+
+CacheConfig CacheConfig::scaledL1() {
+  return CacheConfig{4 * 1024, 8, 64, PolicyKind::Plru, WriteAllocate::Yes};
+}
+
+CacheConfig CacheConfig::scaledL2() {
+  return CacheConfig{32 * 1024, 16, 64, PolicyKind::QuadAgeLru,
+                     WriteAllocate::Yes};
+}
+
+HierarchyConfig HierarchyConfig::singleLevel(CacheConfig L1) {
+  HierarchyConfig H;
+  H.Levels.push_back(L1);
+  return H;
+}
+
+HierarchyConfig HierarchyConfig::twoLevel(CacheConfig L1, CacheConfig L2,
+                                          InclusionPolicy Inclusion) {
+  HierarchyConfig H;
+  H.Levels.push_back(L1);
+  H.Levels.push_back(L2);
+  H.Inclusion = Inclusion;
+  return H;
+}
+
+const char *wcs::inclusionName(InclusionPolicy P) {
+  switch (P) {
+  case InclusionPolicy::NonInclusiveNonExclusive:
+    return "NINE";
+  case InclusionPolicy::Inclusive:
+    return "inclusive";
+  case InclusionPolicy::Exclusive:
+    return "exclusive";
+  }
+  return "?";
+}
+
+std::string HierarchyConfig::validate() const {
+  if (Levels.empty() || Levels.size() > 2)
+    return "hierarchy must have one or two levels";
+  for (const CacheConfig &C : Levels) {
+    std::string E = C.validate();
+    if (!E.empty())
+      return E;
+  }
+  if (Levels.size() == 2) {
+    if (Levels[0].BlockBytes != Levels[1].BlockBytes)
+      return "all levels must share one block size";
+    if (Levels[1].numSets() % Levels[0].numSets() != 0)
+      return "L2 set count must be a multiple of the L1 set count";
+    if (Inclusion == InclusionPolicy::Inclusive &&
+        Levels[1].WriteAlloc == WriteAllocate::No)
+      return "an inclusive L2 must be write-allocate";
+  }
+  return "";
+}
+
+std::string HierarchyConfig::str() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Levels.size(); ++I) {
+    if (I != 0)
+      OS << " + ";
+    OS << "L" << I + 1 << "[" << Levels[I].str() << "]";
+  }
+  if (Levels.size() > 1 &&
+      Inclusion != InclusionPolicy::NonInclusiveNonExclusive)
+    OS << " (" << inclusionName(Inclusion) << ")";
+  return OS.str();
+}

@@ -1,0 +1,92 @@
+//===- cache/ConcreteCache.cpp --------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/cache/ConcreteCache.h"
+
+#include <cassert>
+
+using namespace wcs;
+
+ConcreteHierarchy::ConcreteHierarchy(const HierarchyConfig &Config,
+                                     bool PropagateWritebacks)
+    : Cfg(Config), Writebacks(PropagateWritebacks) {
+  assert(Config.validate().empty() && "invalid hierarchy configuration");
+  for (const CacheConfig &C : Config.Levels)
+    Levels.emplace_back(C);
+}
+
+HierarchyOutcome ConcreteHierarchy::access(BlockId B, bool IsWrite) {
+  HierarchyOutcome R;
+  ConcreteCache &L1 = Levels.front();
+  bool Alloc1 = !(IsWrite && L1.config().WriteAlloc == WriteAllocate::No);
+  AccessOutcome O1 = L1.access(B, Alloc1);
+  R.L1Hit = O1.Hit;
+  if (O1.Hit || O1.Inserted)
+    L1.line(O1.Set, O1.Way).Dirty |= IsWrite;
+
+  if (O1.Hit || Levels.size() < 2)
+    return R;
+
+  ConcreteCache &L2 = Levels[1];
+  bool Alloc2 = !(IsWrite && L2.config().WriteAlloc == WriteAllocate::No);
+  R.L2Accessed = true;
+
+  switch (Cfg.Inclusion) {
+  case InclusionPolicy::NonInclusiveNonExclusive:
+  case InclusionPolicy::Inclusive: {
+    // The L2 sees the same block (paper Eq. (24)); inclusively, an L2
+    // victim additionally back-invalidates its L1 copy.
+    AccessOutcome O2 = L2.access(B, Alloc2);
+    R.L2Hit = O2.Hit;
+    if (O2.Hit || O2.Inserted)
+      L2.line(O2.Set, O2.Way).Dirty |= IsWrite;
+    if (Cfg.Inclusion == InclusionPolicy::Inclusive && O2.Inserted &&
+        O2.EvictedValid && L1.invalidate(O2.EvictedBlock))
+      ++R.BackInvalidations;
+    // Optional richer model: a dirty L1 victim is written back to the L2.
+    if (Writebacks && O1.Inserted && O1.EvictedDirty) {
+      AccessOutcome WB = L2.access(O1.EvictedBlock, /*Allocate=*/true);
+      if (WB.Hit || WB.Inserted)
+        L2.line(WB.Set, WB.Way).Dirty = true;
+      if (Cfg.Inclusion == InclusionPolicy::Inclusive && WB.Inserted &&
+          WB.EvictedValid && L1.invalidate(WB.EvictedBlock))
+        ++R.BackInvalidations;
+      ++R.L2Writebacks;
+      if (!WB.Hit)
+        ++R.L2WritebackMisses;
+    }
+    break;
+  }
+  case InclusionPolicy::Exclusive: {
+    if (!Alloc1) {
+      // Bypassed write miss: look up the L2 without promoting.
+      R.L2Hit = L2.probe(B);
+      break;
+    }
+    // Promotion: the block leaves the L2 (if present) and lives in the
+    // L1 only; the L1 victim becomes an L2 resident.
+    std::optional<ConcreteLine> InL2 = L2.invalidate(B);
+    R.L2Hit = InL2.has_value();
+    if (InL2)
+      L1.line(O1.Set, O1.Way).Dirty |= InL2->Dirty;
+    if (O1.Inserted && O1.EvictedValid) {
+      AccessOutcome OV = L2.access(O1.EvictedBlock, /*Allocate=*/true);
+      if (OV.Inserted)
+        L2.line(OV.Set, OV.Way).Dirty = O1.EvictedDirty;
+      else if (OV.Hit)
+        L2.line(OV.Set, OV.Way).Dirty |= O1.EvictedDirty;
+    }
+    break;
+  }
+  }
+  return R;
+}
+
+void ConcreteHierarchy::reset() {
+  for (ConcreteCache &C : Levels)
+    C.reset();
+}

@@ -1,0 +1,286 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace wcs;
+
+const char *wcs::tokenKindName(Token::Kind K) {
+  switch (K) {
+  case Token::Kind::End:
+    return "end of input";
+  case Token::Kind::Ident:
+    return "identifier";
+  case Token::Kind::IntLit:
+    return "integer literal";
+  case Token::Kind::FloatLit:
+    return "floating literal";
+  case Token::Kind::LParen:
+    return "'('";
+  case Token::Kind::RParen:
+    return "')'";
+  case Token::Kind::LBrace:
+    return "'{'";
+  case Token::Kind::RBrace:
+    return "'}'";
+  case Token::Kind::LBracket:
+    return "'['";
+  case Token::Kind::RBracket:
+    return "']'";
+  case Token::Kind::Semi:
+    return "';'";
+  case Token::Kind::Comma:
+    return "','";
+  case Token::Kind::Assign:
+    return "'='";
+  case Token::Kind::PlusAssign:
+    return "'+='";
+  case Token::Kind::MinusAssign:
+    return "'-='";
+  case Token::Kind::StarAssign:
+    return "'*='";
+  case Token::Kind::SlashAssign:
+    return "'/='";
+  case Token::Kind::Plus:
+    return "'+'";
+  case Token::Kind::Minus:
+    return "'-'";
+  case Token::Kind::Star:
+    return "'*'";
+  case Token::Kind::Slash:
+    return "'/'";
+  case Token::Kind::Percent:
+    return "'%'";
+  case Token::Kind::PlusPlus:
+    return "'++'";
+  case Token::Kind::MinusMinus:
+    return "'--'";
+  case Token::Kind::Lt:
+    return "'<'";
+  case Token::Kind::Le:
+    return "'<='";
+  case Token::Kind::Gt:
+    return "'>'";
+  case Token::Kind::Ge:
+    return "'>='";
+  case Token::Kind::EqEq:
+    return "'=='";
+  case Token::Kind::NotEq:
+    return "'!='";
+  case Token::Kind::AndAnd:
+    return "'&&'";
+  case Token::Kind::OrOr:
+    return "'||'";
+  case Token::Kind::Error:
+    return "error";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string Source) : Src(std::move(Source)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Loc.Line;
+    Loc.Col = 1;
+  } else {
+    ++Loc.Col;
+  }
+  return C;
+}
+
+bool Lexer::skipWhitespaceAndComments(Token &ErrOut) {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SrcLoc Start = Loc;
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Src.size()) {
+        ErrOut.K = Token::Kind::Error;
+        ErrOut.Text = "unterminated block comment";
+        ErrOut.Loc = Start;
+        return false;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return true;
+  }
+}
+
+Token Lexer::next() {
+  Token T;
+  if (!skipWhitespaceAndComments(T))
+    return T;
+  T.Loc = Loc;
+  if (Pos >= Src.size()) {
+    T.K = Token::Kind::End;
+    return T;
+  }
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Ident;
+    while (Pos < Src.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_'))
+      Ident += advance();
+    T.K = Token::Kind::Ident;
+    T.Text = std::move(Ident);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Num;
+    bool IsFloat = false;
+    while (Pos < Src.size() &&
+           (std::isdigit(static_cast<unsigned char>(peek())) ||
+            peek() == '.' || peek() == 'e' || peek() == 'E' ||
+            ((peek() == '+' || peek() == '-') && !Num.empty() &&
+             (Num.back() == 'e' || Num.back() == 'E')))) {
+      char D = advance();
+      if (D == '.' || D == 'e' || D == 'E')
+        IsFloat = true;
+      Num += D;
+    }
+    // Accept C float suffixes.
+    if (peek() == 'f' || peek() == 'F' || peek() == 'l' || peek() == 'L') {
+      IsFloat = true;
+      advance();
+    }
+    T.Text = Num;
+    if (IsFloat) {
+      T.K = Token::Kind::FloatLit;
+    } else {
+      T.K = Token::Kind::IntLit;
+      T.IntValue = std::stoll(Num);
+    }
+    return T;
+  }
+
+  advance();
+  auto Two = [&](char Next, Token::Kind TwoK, Token::Kind OneK) {
+    if (peek() == Next) {
+      advance();
+      T.K = TwoK;
+    } else {
+      T.K = OneK;
+    }
+  };
+  switch (C) {
+  case '(':
+    T.K = Token::Kind::LParen;
+    break;
+  case ')':
+    T.K = Token::Kind::RParen;
+    break;
+  case '{':
+    T.K = Token::Kind::LBrace;
+    break;
+  case '}':
+    T.K = Token::Kind::RBrace;
+    break;
+  case '[':
+    T.K = Token::Kind::LBracket;
+    break;
+  case ']':
+    T.K = Token::Kind::RBracket;
+    break;
+  case ';':
+    T.K = Token::Kind::Semi;
+    break;
+  case ',':
+    T.K = Token::Kind::Comma;
+    break;
+  case '+':
+    if (peek() == '+') {
+      advance();
+      T.K = Token::Kind::PlusPlus;
+    } else {
+      Two('=', Token::Kind::PlusAssign, Token::Kind::Plus);
+    }
+    break;
+  case '-':
+    if (peek() == '-') {
+      advance();
+      T.K = Token::Kind::MinusMinus;
+    } else {
+      Two('=', Token::Kind::MinusAssign, Token::Kind::Minus);
+    }
+    break;
+  case '*':
+    Two('=', Token::Kind::StarAssign, Token::Kind::Star);
+    break;
+  case '/':
+    Two('=', Token::Kind::SlashAssign, Token::Kind::Slash);
+    break;
+  case '%':
+    T.K = Token::Kind::Percent;
+    break;
+  case '<':
+    Two('=', Token::Kind::Le, Token::Kind::Lt);
+    break;
+  case '>':
+    Two('=', Token::Kind::Ge, Token::Kind::Gt);
+    break;
+  case '=':
+    Two('=', Token::Kind::EqEq, Token::Kind::Assign);
+    break;
+  case '!':
+    if (peek() == '=') {
+      advance();
+      T.K = Token::Kind::NotEq;
+    } else {
+      T.K = Token::Kind::Error;
+      T.Text = "unexpected character '!'";
+    }
+    break;
+  case '&':
+    if (peek() == '&') {
+      advance();
+      T.K = Token::Kind::AndAnd;
+    } else {
+      T.K = Token::Kind::Error;
+      T.Text = "unexpected character '&'";
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      T.K = Token::Kind::OrOr;
+    } else {
+      T.K = Token::Kind::Error;
+      T.Text = "unexpected character '|'";
+    }
+    break;
+  default:
+    T.K = Token::Kind::Error;
+    T.Text = std::string("unexpected character '") + C + "'";
+    break;
+  }
+  return T;
+}

@@ -1,0 +1,125 @@
+//===- poly/AffineExpr.cpp ------------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/poly/AffineExpr.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace wcs;
+
+AffineExpr AffineExpr::constant(unsigned NumDims, int64_t C) {
+  AffineExpr E(NumDims);
+  E.Const = C;
+  return E;
+}
+
+AffineExpr AffineExpr::dim(unsigned NumDims, unsigned Dim) {
+  assert(Dim < NumDims && "dimension out of range");
+  AffineExpr E(NumDims);
+  E.Coeffs[Dim] = 1;
+  return E;
+}
+
+bool AffineExpr::isConstant() const {
+  for (int64_t C : Coeffs)
+    if (C != 0)
+      return false;
+  return true;
+}
+
+bool AffineExpr::sameLinearPart(const AffineExpr &Other) const {
+  unsigned N = std::max(numDims(), Other.numDims());
+  for (unsigned I = 0; I < N; ++I) {
+    int64_t A = I < numDims() ? Coeffs[I] : 0;
+    int64_t B = I < Other.numDims() ? Other.Coeffs[I] : 0;
+    if (A != B)
+      return false;
+  }
+  return true;
+}
+
+int64_t AffineExpr::eval(const IterVec &At) const {
+  assert(At.size() >= numDims() && "iteration point too shallow");
+  int64_t R = Const;
+  for (unsigned I = 0, N = numDims(); I < N; ++I)
+    R += Coeffs[I] * At[I];
+  return R;
+}
+
+AffineExpr AffineExpr::extendedTo(unsigned NumDims) const {
+  assert(NumDims >= numDims() && "cannot shrink an affine expression");
+  AffineExpr E(NumDims);
+  for (unsigned I = 0, N = numDims(); I < N; ++I)
+    E.Coeffs[I] = Coeffs[I];
+  E.Const = Const;
+  return E;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &O) const {
+  AffineExpr R = *this;
+  R += O;
+  return R;
+}
+
+AffineExpr &AffineExpr::operator+=(const AffineExpr &O) {
+  if (O.numDims() > numDims())
+    Coeffs.resize(O.numDims(), 0);
+  for (unsigned I = 0, N = O.numDims(); I < N; ++I)
+    Coeffs[I] += O.Coeffs[I];
+  Const += O.Const;
+  return *this;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &O) const {
+  return *this + (-O);
+}
+
+AffineExpr AffineExpr::operator-() const { return *this * -1; }
+
+AffineExpr AffineExpr::operator*(int64_t S) const {
+  AffineExpr R = *this;
+  for (int64_t &C : R.Coeffs)
+    C *= S;
+  R.Const *= S;
+  return R;
+}
+
+std::string AffineExpr::str(const std::vector<std::string> &DimNames) const {
+  std::ostringstream OS;
+  bool First = true;
+  for (unsigned I = 0, N = numDims(); I < N; ++I) {
+    if (Coeffs[I] == 0)
+      continue;
+    std::string Name;
+    if (I < DimNames.size()) {
+      Name = DimNames[I];
+    } else {
+      Name = "i";
+      Name += std::to_string(I);
+    }
+    if (First) {
+      if (Coeffs[I] == -1)
+        OS << "-";
+      else if (Coeffs[I] != 1)
+        OS << Coeffs[I] << "*";
+    } else {
+      OS << (Coeffs[I] < 0 ? " - " : " + ");
+      int64_t A = Coeffs[I] < 0 ? -Coeffs[I] : Coeffs[I];
+      if (A != 1)
+        OS << A << "*";
+    }
+    OS << Name;
+    First = false;
+  }
+  if (First) {
+    OS << Const;
+  } else if (Const != 0) {
+    OS << (Const < 0 ? " - " : " + ") << (Const < 0 ? -Const : Const);
+  }
+  return OS.str();
+}

@@ -1,0 +1,153 @@
+//===- poly/FourierMotzkin.cpp --------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/poly/FourierMotzkin.h"
+
+#include "wcs/support/MathUtil.h"
+
+#include <cassert>
+
+using namespace wcs;
+
+/// Elimination is abandoned once a system grows beyond this many rows;
+/// the caller then receives Unknown and acts conservatively. Real warping
+/// queries stay far below this (PolyBench domains have < 10 constraints).
+static constexpr unsigned MaxRows = 4096;
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = gcd64(N, D);
+  if (G > 1) {
+    N /= G;
+    D /= G;
+  }
+  Num = N;
+  Den = D;
+}
+
+int64_t Rational::floor() const { return floorDiv(Num, Den); }
+int64_t Rational::ceil() const { return ceilDiv(Num, Den); }
+
+void LinearSystem::addGE(std::vector<int64_t> Coeffs, int64_t Const) {
+  assert(Coeffs.size() == NumVars && "row has wrong arity");
+  Row R{std::move(Coeffs), Const};
+  normalize(R);
+  Rows.push_back(std::move(R));
+}
+
+void LinearSystem::addEQ(const std::vector<int64_t> &Coeffs, int64_t Const) {
+  addGE(Coeffs, Const);
+  std::vector<int64_t> Neg(Coeffs.size());
+  for (size_t I = 0; I < Coeffs.size(); ++I)
+    Neg[I] = -Coeffs[I];
+  addGE(std::move(Neg), -Const);
+}
+
+bool LinearSystem::normalize(Row &R) {
+  // Dividing the whole row (constant included) by the common gcd preserves
+  // the rational solution set exactly.
+  int64_t G = gcd64(0, R.Const);
+  for (int64_t C : R.Coeffs)
+    G = gcd64(G, C);
+  if (G > 1) {
+    for (int64_t &C : R.Coeffs)
+      C /= G;
+    R.Const /= G;
+  }
+  return true;
+}
+
+bool LinearSystem::eliminate(std::vector<Row> &Rows, unsigned Var) {
+  std::vector<Row> Pos, Neg, Rest;
+  for (Row &R : Rows) {
+    int64_t C = R.Coeffs[Var];
+    if (C > 0)
+      Pos.push_back(std::move(R));
+    else if (C < 0)
+      Neg.push_back(std::move(R));
+    else
+      Rest.push_back(std::move(R));
+  }
+  if (Pos.size() * Neg.size() + Rest.size() > MaxRows)
+    return false;
+  for (const Row &P : Pos) {
+    for (const Row &N : Neg) {
+      // P: a*x + p >= 0 (a > 0); N: b*x + n >= 0 (b < 0).
+      // Combined: a*n - b*p >= 0, eliminating x.
+      int64_t A = P.Coeffs[Var];
+      int64_t B = N.Coeffs[Var];
+      Row C;
+      C.Coeffs.resize(P.Coeffs.size());
+      for (size_t I = 0; I < P.Coeffs.size(); ++I) {
+        __int128 V = static_cast<__int128>(A) * N.Coeffs[I] -
+                     static_cast<__int128>(B) * P.Coeffs[I];
+        if (V > INT64_MAX || V < INT64_MIN)
+          return false;
+        C.Coeffs[I] = static_cast<int64_t>(V);
+      }
+      __int128 K = static_cast<__int128>(A) * N.Const -
+                   static_cast<__int128>(B) * P.Const;
+      if (K > INT64_MAX || K < INT64_MIN)
+        return false;
+      C.Const = static_cast<int64_t>(K);
+      assert(C.Coeffs[Var] == 0 && "elimination failed to zero the pivot");
+      normalize(C);
+      Rest.push_back(std::move(C));
+    }
+  }
+  Rows = std::move(Rest);
+  return true;
+}
+
+FMStatus LinearSystem::feasible() const {
+  std::vector<Row> Work = Rows;
+  for (unsigned V = 0; V < NumVars; ++V)
+    if (!eliminate(Work, V))
+      return FMStatus::Unknown;
+  for (const Row &R : Work)
+    if (R.Const < 0)
+      return FMStatus::Infeasible;
+  return FMStatus::Feasible;
+}
+
+FMStatus LinearSystem::minimize(unsigned Var,
+                                std::optional<Rational> &Min) const {
+  assert(Var < NumVars && "variable out of range");
+  Min.reset();
+  std::vector<Row> Work = Rows;
+  for (unsigned V = 0; V < NumVars; ++V) {
+    if (V == Var)
+      continue;
+    if (!eliminate(Work, V))
+      return FMStatus::Unknown;
+  }
+  std::optional<Rational> Lo, Hi;
+  for (const Row &R : Work) {
+    int64_t A = R.Coeffs[Var];
+    if (A == 0) {
+      if (R.Const < 0)
+        return FMStatus::Infeasible;
+      continue;
+    }
+    Rational Bound(-R.Const, A);
+    if (A > 0) {
+      if (!Lo || *Lo < Bound)
+        Lo = Bound;
+    } else {
+      if (!Hi || Bound < *Hi)
+        Hi = Bound;
+    }
+  }
+  if (Lo && Hi && *Hi < *Lo)
+    return FMStatus::Infeasible;
+  Min = Lo;
+  return FMStatus::Feasible;
+}

@@ -1,0 +1,78 @@
+//===- poly/IntegerSet.cpp ------------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/poly/IntegerSet.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace wcs;
+
+const ConvexSet &IntegerSet::onlyDisjunct() const {
+  assert(isSingleDisjunct() && "set is not a single disjunct");
+  return Parts.front();
+}
+
+void IntegerSet::addDisjunct(ConvexSet S) {
+  if (Parts.empty())
+    Dims = S.numDims();
+  assert(S.numDims() == Dims && "dimension mismatch in union");
+  Parts.push_back(std::move(S));
+}
+
+void IntegerSet::intersectWith(const ConvexSet &S) {
+  for (ConvexSet &P : Parts)
+    P.intersectWith(S);
+}
+
+IntegerSet IntegerSet::extendedTo(unsigned NumDims) const {
+  IntegerSet R;
+  for (const ConvexSet &P : Parts)
+    R.addDisjunct(P.extendedTo(NumDims));
+  R.Dims = NumDims;
+  return R;
+}
+
+bool IntegerSet::contains(const IterVec &At) const {
+  for (const ConvexSet &P : Parts)
+    if (P.contains(At))
+      return true;
+  return false;
+}
+
+std::optional<VarBounds>
+IntegerSet::lastDimBounds(const IterVec &Prefix) const {
+  std::optional<VarBounds> Result;
+  for (const ConvexSet &P : Parts) {
+    std::optional<VarBounds> B = P.lastDimBounds(Prefix);
+    if (!B)
+      return std::nullopt; // Unbounded disjunct.
+    if (B->empty())
+      continue;
+    if (!Result) {
+      Result = B;
+    } else {
+      Result->Lo = std::min(Result->Lo, B->Lo);
+      Result->Hi = std::max(Result->Hi, B->Hi);
+    }
+  }
+  if (!Result)
+    return VarBounds{1, 0}; // All disjuncts empty for this prefix.
+  return Result;
+}
+
+std::string IntegerSet::str(const std::vector<std::string> &DimNames) const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      OS << " or ";
+    OS << Parts[I].str(DimNames);
+  }
+  if (Parts.empty())
+    OS << "{ }";
+  return OS.str();
+}

@@ -1,0 +1,38 @@
+//===- polybench/Registry.cpp - Kernel lookup and construction -------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/polybench/Polybench.h"
+
+#include "wcs/frontend/Frontend.h"
+
+using namespace wcs;
+
+const KernelInfo *wcs::findKernel(const std::string &Name) {
+  for (const KernelInfo &K : polybenchKernels())
+    if (Name == K.Name)
+      return &K;
+  return nullptr;
+}
+
+ScopProgram wcs::buildKernel(const KernelInfo &K, ProblemSize S,
+                             std::string *Error) {
+  ParseResult R = parseScop(K.Source, paramBinding(K, S), K.Name);
+  if (Error)
+    *Error = R.ok() ? "" : R.message();
+  return std::move(R.Program);
+}
+
+ScopProgram wcs::buildKernel(const std::string &Name, ProblemSize S,
+                             std::string *Error) {
+  const KernelInfo *K = findKernel(Name);
+  if (!K) {
+    if (Error)
+      *Error = "unknown PolyBench kernel '" + Name + "'";
+    return ScopProgram();
+  }
+  return buildKernel(*K, S, Error);
+}

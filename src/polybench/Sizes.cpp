@@ -1,0 +1,46 @@
+//===- polybench/Sizes.cpp - Problem-size handling -------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// The five problem-size classes mirror PolyBench's MINI .. EXTRALARGE but
+// are scaled down (roughly 1/5 in linear dimension at LARGE) so that
+// non-warping baselines finish in seconds on a laptop. The paper's L/XL
+// experiments correspond to our Large/ExtraLarge; cache sizes are scaled
+// alongside in the benchmark configurations (EXPERIMENTS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/polybench/Polybench.h"
+
+#include <cassert>
+
+using namespace wcs;
+
+const char *wcs::problemSizeName(ProblemSize S) {
+  switch (S) {
+  case ProblemSize::Mini:
+    return "MINI";
+  case ProblemSize::Small:
+    return "SMALL";
+  case ProblemSize::Medium:
+    return "MEDIUM";
+  case ProblemSize::Large:
+    return "LARGE";
+  case ProblemSize::ExtraLarge:
+    return "EXTRALARGE";
+  }
+  return "?";
+}
+
+std::map<std::string, int64_t> wcs::paramBinding(const KernelInfo &K,
+                                                 ProblemSize S) {
+  const std::vector<int64_t> &Vals =
+      K.SizeValues[static_cast<unsigned>(S)];
+  assert(Vals.size() == K.ParamNames.size() &&
+         "size table does not match the parameter list");
+  std::map<std::string, int64_t> Binding;
+  for (size_t I = 0; I < Vals.size(); ++I)
+    Binding[K.ParamNames[I]] = Vals[I];
+  return Binding;
+}

@@ -1,0 +1,85 @@
+//===- sim/SymbolicCache.cpp ----------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/sim/SymbolicCache.h"
+
+#include <cassert>
+
+using namespace wcs;
+
+SymbolicHierarchy::SymbolicHierarchy(const HierarchyConfig &Config)
+    : Inclusion(Config.Inclusion) {
+  assert(Config.validate().empty() && "invalid hierarchy configuration");
+  for (const CacheConfig &C : Config.Levels)
+    Levels.emplace_back(C);
+}
+
+SymAccessOutcome SymbolicHierarchy::access(BlockId B, bool IsWrite,
+                                           int32_t NodeId,
+                                           const IterVec &Iter) {
+  SymAccessOutcome R;
+  SymbolicCache &L1 = Levels.front();
+  bool Alloc1 = !(IsWrite && L1.config().WriteAlloc == WriteAllocate::No);
+  AccessOutcome O1 = L1.access(B, Alloc1);
+  R.L1Hit = O1.Hit;
+  if (O1.Hit || O1.Inserted) {
+    SymLine &L = L1.line(O1.Set, O1.Way);
+    L.NodeId = NodeId;
+    L.Iter = Iter;
+    L.Dirty |= IsWrite;
+  }
+  if (O1.Hit || Levels.size() < 2)
+    return R;
+
+  SymbolicCache &L2 = Levels[1];
+  bool Alloc2 = !(IsWrite && L2.config().WriteAlloc == WriteAllocate::No);
+  R.L2Accessed = true;
+
+  switch (Inclusion) {
+  case InclusionPolicy::NonInclusiveNonExclusive:
+  case InclusionPolicy::Inclusive: {
+    AccessOutcome O2 = L2.access(B, Alloc2);
+    R.L2Hit = O2.Hit;
+    if (O2.Hit || O2.Inserted) {
+      SymLine &L = L2.line(O2.Set, O2.Way);
+      L.NodeId = NodeId;
+      L.Iter = Iter;
+      L.Dirty |= IsWrite;
+    }
+    if (Inclusion == InclusionPolicy::Inclusive && O2.Inserted &&
+        O2.EvictedValid)
+      L1.invalidate(O2.EvictedBlock);
+    break;
+  }
+  case InclusionPolicy::Exclusive: {
+    if (!Alloc1) {
+      R.L2Hit = L2.probe(B);
+      break;
+    }
+    // Promotion: the L2 copy (with whatever tag it carried) moves into
+    // the L1 slot just filled; the access re-tags it anyway. The L1
+    // victim migrates to the L2 *keeping its own tag*, so the warping
+    // bijection checks continue to see its installing access instance.
+    std::optional<SymLine> InL2 = L2.invalidate(B);
+    R.L2Hit = InL2.has_value();
+    if (InL2)
+      L1.line(O1.Set, O1.Way).Dirty |= InL2->Dirty;
+    if (O1.Inserted && O1.EvictedValid) {
+      SymLine Victim = L1.lastEvicted();
+      AccessOutcome OV = L2.access(O1.EvictedBlock, /*Allocate=*/true);
+      if (OV.Hit || OV.Inserted) {
+        SymLine &L = L2.line(OV.Set, OV.Way);
+        L.NodeId = Victim.NodeId;
+        L.Iter = Victim.Iter;
+        L.Dirty = Victim.Dirty;
+      }
+    }
+    break;
+  }
+  }
+  return R;
+}

@@ -1,0 +1,88 @@
+//===- trace/StackDistance.cpp --------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/trace/StackDistance.h"
+
+#include "wcs/support/MathUtil.h"
+#include "wcs/trace/TraceGenerator.h"
+
+#include <chrono>
+
+using namespace wcs;
+
+StackDistanceProfiler::StackDistanceProfiler(unsigned BlockBytes)
+    : BlockShift(log2Exact(BlockBytes)) {
+  Bit.resize(1024, 0);
+}
+
+void StackDistanceProfiler::bitAdd(uint64_t Pos, int64_t Val) {
+  // Grow by doubling. A new power-of-two node P covers the range (0, P],
+  // which contains every existing element, so it must start at the
+  // current tree total (all other new nodes cover only new, empty
+  // positions).
+  while (Pos >= Bit.size()) {
+    size_t Old = Bit.size();
+    Bit.resize(Old * 2, 0);
+    Bit[Old] = TreeTotal;
+  }
+  TreeTotal += Val;
+  for (uint64_t I = Pos; I < Bit.size(); I += I & (~I + 1))
+    Bit[I] += Val;
+}
+
+int64_t StackDistanceProfiler::bitPrefix(uint64_t Pos) const {
+  if (Pos >= Bit.size())
+    Pos = Bit.size() - 1;
+  int64_t S = 0;
+  for (uint64_t I = Pos; I > 0; I -= I & (~I + 1))
+    S += Bit[I];
+  return S;
+}
+
+void StackDistanceProfiler::accessBlock(BlockId B) {
+  ++Time; // 1-based timestamps.
+  auto It = LastAccess.find(B);
+  if (It == LastAccess.end()) {
+    ++Colds;
+  } else {
+    // Distinct blocks touched strictly between the previous access to B
+    // and now = number of "last access" markers in (last, now).
+    uint64_t D = static_cast<uint64_t>(bitPrefix(Time - 1) -
+                                       bitPrefix(It->second));
+    if (Hist.size() <= D)
+      Hist.resize(D + 1, 0);
+    ++Hist[D];
+    bitAdd(It->second, -1);
+  }
+  bitAdd(Time, +1);
+  LastAccess[B] = Time;
+}
+
+uint64_t StackDistanceProfiler::missesForAssoc(uint64_t Assoc) const {
+  uint64_t M = Colds;
+  for (uint64_t D = Assoc; D < Hist.size(); ++D)
+    M += Hist[D];
+  return M;
+}
+
+StackDistanceProfiler wcs::profileProgram(const ScopProgram &Program,
+                                          unsigned BlockBytes,
+                                          bool IncludeScalars,
+                                          double *Seconds) {
+  auto Start = std::chrono::steady_clock::now();
+  StackDistanceProfiler Prof(BlockBytes);
+  TraceOptions TO;
+  TO.IncludeScalars = IncludeScalars;
+  generateTrace(Program, TO,
+                [&](const TraceRecord &R) { Prof.accessAddr(R.Addr); });
+  if (Seconds)
+    *Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  return Prof;
+}

@@ -1,0 +1,222 @@
+//===- tests/sim_equivalence_test.cpp - Warping soundness property --------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// The central soundness property of the whole system: warping simulation
+// and non-warping simulation produce identical access and miss counts at
+// every cache level, for every replacement policy, over randomized
+// polyhedral programs (random nests, triangular bounds, guards, strided
+// subscripts) and randomized cache geometries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/scop/Builder.h"
+#include "wcs/sim/ConcreteSimulator.h"
+#include "wcs/sim/WarpingSimulator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace wcs;
+
+namespace {
+
+struct GenConfig {
+  unsigned Seed;
+  PolicyKind Policy;
+  bool TwoLevel;
+};
+
+class RandomProgramEquivalence : public ::testing::TestWithParam<GenConfig> {};
+
+/// Generates a random but well-formed SCoP: loop nests of depth 1-3 with
+/// constant or triangular bounds, in-bounds affine accesses (so that the
+/// block-aligned layout keeps arrays disjoint), occasional guards.
+ScopProgram generateProgram(std::mt19937 &Rng) {
+  auto Rand = [&](int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+  };
+
+  ScopBuilder B("random");
+  // Loop extent cap: subscripts stay within MaxIter*2 + 4.
+  const int MaxIter = Rand(6, 14);
+  struct Arr {
+    unsigned Id;
+    unsigned Dims;
+  };
+  std::vector<Arr> Arrays;
+  unsigned NumArrays = Rand(1, 3);
+  for (unsigned I = 0; I < NumArrays; ++I) {
+    unsigned Dims = Rand(1, 2);
+    std::vector<int64_t> Ext(Dims, 2 * MaxIter + 6);
+    unsigned Elem = Rand(0, 1) ? 8 : 4;
+    Arrays.push_back(
+        Arr{B.addArray("A" + std::to_string(I), Elem, std::move(Ext)), Dims});
+  }
+
+  // A random affine subscript over the current iterators, guaranteed to
+  // stay within [0, 2*MaxIter + 5].
+  auto Subscript = [&]() {
+    if (B.depth() == 0 || Rand(0, 4) == 0)
+      return B.cst(Rand(0, 3));
+    unsigned Lvl = Rand(0, static_cast<int>(B.depth()) - 1);
+    int Coef = Rand(0, 3) == 0 ? 2 : 1;
+    return B.iterAt(Lvl) * Coef + B.cst(Rand(0, 3));
+  };
+  auto EmitAccess = [&]() {
+    const Arr &A = Arrays[Rand(0, static_cast<int>(Arrays.size()) - 1)];
+    std::vector<AffineExpr> Subs;
+    for (unsigned K = 0; K < A.Dims; ++K)
+      Subs.push_back(Subscript());
+    B.access(A.Id, Rand(0, 2) == 0 ? AccessKind::Write : AccessKind::Read,
+             std::move(Subs));
+  };
+
+  unsigned NumNests = Rand(1, 2);
+  for (unsigned Nest = 0; Nest < NumNests; ++Nest) {
+    unsigned Depth = Rand(1, 3);
+    for (unsigned D = 0; D < Depth; ++D) {
+      AffineExpr Lo = B.cst(Rand(0, 2));
+      // Occasionally triangular: lower bound = an outer iterator.
+      if (D > 0 && Rand(0, 2) == 0)
+        Lo = B.iterAt(Rand(0, static_cast<int>(B.depth()) - 1));
+      B.beginLoop("i" + std::to_string(Nest) + std::to_string(D),
+                  std::move(Lo), B.cst(MaxIter));
+      if (Rand(0, 3) == 0)
+        EmitAccess(); // Access between loop levels.
+    }
+    unsigned Body = Rand(1, 4);
+    for (unsigned S = 0; S < Body; ++S) {
+      bool Guarded = Rand(0, 3) == 0;
+      if (Guarded)
+        B.beginGuard(Constraint::ge(
+            B.iterAt(static_cast<int>(B.depth()) - 1) - B.cst(Rand(1, 5))));
+      EmitAccess();
+      if (Guarded)
+        B.endGuard();
+    }
+    for (unsigned D = 0; D < Depth; ++D)
+      B.endLoop();
+  }
+  std::string Err;
+  ScopProgram P = B.finish(&Err);
+  EXPECT_EQ(Err, "");
+  return P;
+}
+
+HierarchyConfig randomHierarchy(std::mt19937 &Rng, PolicyKind K,
+                                bool TwoLevel) {
+  auto Rand = [&](int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+  };
+  CacheConfig L1;
+  L1.BlockBytes = 64;
+  L1.Assoc = 1u << Rand(0, 2);             // 1, 2 or 4 ways.
+  unsigned Sets = 1u << Rand(0, 3);        // 1..8 sets.
+  L1.SizeBytes = static_cast<uint64_t>(L1.Assoc) * Sets * 64;
+  L1.Policy = K;
+  if (!TwoLevel)
+    return HierarchyConfig::singleLevel(L1);
+  CacheConfig L2 = L1;
+  L2.SizeBytes *= 1u << Rand(1, 2); // 2x or 4x the sets.
+  L2.Policy = K == PolicyKind::Plru ? PolicyKind::QuadAgeLru : K;
+  return HierarchyConfig::twoLevel(L1, L2);
+}
+
+TEST_P(RandomProgramEquivalence, WarpingEqualsConcrete) {
+  GenConfig G = GetParam();
+  std::mt19937 Rng(G.Seed);
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    ScopProgram P = generateProgram(Rng);
+    HierarchyConfig H = randomHierarchy(Rng, G.Policy, G.TwoLevel);
+    // Aggressive warping bounds to exercise the machinery on small loops.
+    SimOptions O;
+    O.Warp.MinProbesForLearning = 1000000; // Never disable probing.
+    O.Warp.EnableProfitGuard = false;
+
+    ConcreteSimulator Ref(P, H);
+    WarpingSimulator Warp(P, H, O);
+    SimStats R = Ref.run(), W = Warp.run();
+
+    ASSERT_EQ(W.totalAccesses(), R.totalAccesses())
+        << "trial " << Trial << "\n"
+        << P.str() << H.str();
+    ASSERT_EQ(W.Level[0].Misses, R.Level[0].Misses)
+        << "trial " << Trial << "\n"
+        << P.str() << H.str();
+    if (G.TwoLevel) {
+      ASSERT_EQ(W.Level[1].Accesses, R.Level[1].Accesses)
+          << "trial " << Trial << "\n"
+          << P.str() << H.str();
+      ASSERT_EQ(W.Level[1].Misses, R.Level[1].Misses)
+          << "trial " << Trial << "\n"
+          << P.str() << H.str();
+    }
+    ASSERT_EQ(W.SimulatedAccesses + W.WarpedAccesses, W.totalAccesses());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomProgramEquivalence,
+    ::testing::Values(GenConfig{101, PolicyKind::Lru, false},
+                      GenConfig{102, PolicyKind::Lru, true},
+                      GenConfig{201, PolicyKind::Fifo, false},
+                      GenConfig{202, PolicyKind::Fifo, true},
+                      GenConfig{301, PolicyKind::Plru, false},
+                      GenConfig{302, PolicyKind::Plru, true},
+                      GenConfig{401, PolicyKind::QuadAgeLru, false},
+                      GenConfig{402, PolicyKind::QuadAgeLru, true}),
+    [](const ::testing::TestParamInfo<GenConfig> &Info) {
+      return std::string(policyName(Info.param.Policy)) +
+             (Info.param.TwoLevel ? "_L2" : "_L1") + "_s" +
+             std::to_string(Info.param.Seed);
+    });
+
+/// Dense streaming programs exercise the rotating-match path heavily;
+/// run them over every policy with several block/element ratios.
+class StreamEquivalence
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, int>> {};
+
+TEST_P(StreamEquivalence, RotatingWarpsAreExact) {
+  auto [K, ElemBytes] = GetParam();
+  ScopBuilder B("stream");
+  unsigned A = B.addArray("A", ElemBytes, {6000});
+  unsigned C = B.addArray("C", ElemBytes, {6000});
+  B.beginLoop("i", B.cst(2), B.cst(5500));
+  B.read(A, {B.iter("i") - B.cst(2)});
+  B.read(A, {B.iter("i") + B.cst(1)});
+  B.write(C, {B.iter("i")});
+  B.endLoop();
+  std::string Err;
+  ScopProgram P = B.finish(&Err);
+  ASSERT_EQ(Err, "");
+
+  CacheConfig Cfg;
+  Cfg.BlockBytes = 64;
+  Cfg.Assoc = 4;
+  Cfg.SizeBytes = 8 * 4 * 64;
+  Cfg.Policy = K;
+  HierarchyConfig H = HierarchyConfig::singleLevel(Cfg);
+  ConcreteSimulator Ref(P, H);
+  WarpingSimulator Warp(P, H);
+  SimStats R = Ref.run(), W = Warp.run();
+  EXPECT_EQ(W.Level[0].Misses, R.Level[0].Misses) << policyName(K);
+  EXPECT_EQ(W.totalAccesses(), R.totalAccesses());
+  EXPECT_GE(W.Warps, 1u) << "dense streams must warp under "
+                         << policyName(K);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, StreamEquivalence,
+    ::testing::Combine(::testing::Values(PolicyKind::Lru, PolicyKind::Fifo,
+                                         PolicyKind::Plru,
+                                         PolicyKind::QuadAgeLru),
+                       ::testing::Values(4, 8, 64)),
+    [](const ::testing::TestParamInfo<std::tuple<PolicyKind, int>> &Info) {
+      return std::string(policyName(std::get<0>(Info.param))) + "_e" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+} // namespace

@@ -1,0 +1,107 @@
+//===- tests/support_test.cpp - Support library unit tests ---------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/support/Hashing.h"
+#include "wcs/support/IterVec.h"
+#include "wcs/support/MathUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace wcs;
+
+TEST(MathUtil, FloorDivRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(-6, 3), -2);
+  EXPECT_EQ(floorDiv(0, 5), 0);
+}
+
+TEST(MathUtil, CeilDivRoundsTowardPositiveInfinity) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_EQ(ceilDiv(-7, -2), 4);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+}
+
+TEST(MathUtil, FloorModIsAlwaysNonNegativeForPositiveModulus) {
+  EXPECT_EQ(floorMod(7, 4), 3);
+  EXPECT_EQ(floorMod(-7, 4), 1);
+  EXPECT_EQ(floorMod(-8, 4), 0);
+  for (int64_t X = -20; X <= 20; ++X) {
+    int64_t M = floorMod(X, 8);
+    EXPECT_GE(M, 0);
+    EXPECT_LT(M, 8);
+    EXPECT_EQ(floorDiv(X, 8) * 8 + M, X);
+  }
+}
+
+TEST(MathUtil, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(17, 13), 1);
+}
+
+TEST(MathUtil, CheckedArithmeticDetectsOverflow) {
+  EXPECT_EQ(checkedMul(1 << 20, 1 << 20), std::optional<int64_t>(1LL << 40));
+  EXPECT_FALSE(checkedMul(INT64_MAX, 2).has_value());
+  EXPECT_FALSE(checkedAdd(INT64_MAX, 1).has_value());
+  EXPECT_EQ(checkedAdd(-5, 3), std::optional<int64_t>(-2));
+}
+
+TEST(MathUtil, PowerOfTwoHelpers) {
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(64));
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_FALSE(isPowerOf2(48));
+  EXPECT_EQ(log2Exact(64), 6u);
+  EXPECT_EQ(log2Exact(1), 0u);
+}
+
+TEST(Hashing, MixAndCombineAreDeterministicAndSpread) {
+  EXPECT_EQ(hashMix(42), hashMix(42));
+  EXPECT_NE(hashMix(42), hashMix(43));
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1)) << "order must matter";
+  HashStream A, B;
+  A.add(int64_t{1});
+  A.add(int64_t{2});
+  B.add(int64_t{2});
+  B.add(int64_t{1});
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(IterVec, BasicOperations) {
+  IterVec V{1, 2, 3};
+  EXPECT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V.back(), 3);
+  V.push(4);
+  EXPECT_EQ(V.size(), 4u);
+  V.pop();
+  EXPECT_EQ(V, (IterVec{1, 2, 3}));
+  EXPECT_EQ(V.prefix(2), (IterVec{1, 2}));
+  EXPECT_TRUE(V.prefixEquals(IterVec{1, 2, 99}, 2));
+  EXPECT_FALSE(V.prefixEquals(IterVec{1, 3, 3}, 2));
+}
+
+TEST(IterVec, LexicographicOrder) {
+  EXPECT_LT((IterVec{1, 2}), (IterVec{1, 3}));
+  EXPECT_LT((IterVec{1, 9}), (IterVec{2, 0}));
+  EXPECT_EQ((IterVec{5}), (IterVec{5}));
+  EXPECT_GT((IterVec{2, 0, 0}), (IterVec{1, 9, 9}));
+}
+
+TEST(IterVec, HashDistinguishesSizeAndContent) {
+  EXPECT_NE((IterVec{1, 2}).hash(), (IterVec{1, 2, 0}).hash());
+  EXPECT_NE((IterVec{1, 2}).hash(), (IterVec{2, 1}).hash());
+  EXPECT_EQ((IterVec{7, 8}).hash(), (IterVec{7, 8}).hash());
+}

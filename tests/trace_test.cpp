@@ -1,0 +1,184 @@
+//===- tests/trace_test.cpp - Trace substrate unit tests ------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/frontend/Frontend.h"
+#include "wcs/sim/ConcreteSimulator.h"
+#include "wcs/trace/StackDistance.h"
+#include "wcs/trace/TraceGenerator.h"
+#include "wcs/trace/TraceSimulator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace wcs;
+
+namespace {
+
+ScopProgram smallKernel() {
+  ParseResult R = parseScop(R"(
+    param N = 300;
+    double s; double A[N]; double B[N];
+    for (t = 0; t < 3; t++)
+      for (i = 1; i < N; i++) {
+        B[i] = A[i] + A[i-1];
+        s += B[i];
+      }
+  )");
+  EXPECT_TRUE(R.ok()) << R.message();
+  return std::move(R.Program);
+}
+
+TEST(TraceGenerator, StreamedAndChunkedAgree) {
+  ScopProgram P = smallKernel();
+  TraceOptions TO;
+  TO.IncludeScalars = true;
+  std::vector<TraceRecord> Streamed;
+  uint64_t N = generateTrace(
+      P, TO, [&](const TraceRecord &R) { Streamed.push_back(R); });
+  EXPECT_EQ(N, Streamed.size());
+  // 3 reads + 1 write for stmt 1; scalar read + B read + scalar write for
+  // stmt 2 => 7 per iteration, hmm: B[i]=A[i]+A[i-1] is 2 reads + 1
+  // write; s += B[i] is read s, read B[i], write s.
+  EXPECT_EQ(N, 3u * 299u * 6u);
+
+  ChunkedTraceGenerator Gen(P, TO, /*ChunkRecords=*/777);
+  std::vector<TraceRecord> Chunked;
+  for (;;) {
+    const std::vector<TraceRecord> &C = Gen.nextChunk();
+    if (C.empty())
+      break;
+    Chunked.insert(Chunked.end(), C.begin(), C.end());
+  }
+  ASSERT_EQ(Chunked.size(), Streamed.size());
+  for (size_t I = 0; I < Streamed.size(); ++I) {
+    EXPECT_EQ(Chunked[I].Addr, Streamed[I].Addr) << I;
+    EXPECT_EQ(Chunked[I].IsWrite, Streamed[I].IsWrite) << I;
+    EXPECT_EQ(Chunked[I].Size, Streamed[I].Size) << I;
+  }
+}
+
+TEST(TraceGenerator, ScalarExclusionMatchesSimulatorAccounting) {
+  ScopProgram P = smallKernel();
+  TraceOptions TO;
+  TO.IncludeScalars = false;
+  uint64_t N = generateTrace(P, TO, [](const TraceRecord &) {});
+  // Without scalars: A[i], A[i-1], B[i] write, B[i] read.
+  EXPECT_EQ(N, 3u * 299u * 4u);
+}
+
+TEST(TraceSimulator, AgreesWithTreeSimulatorWithoutWritebacks) {
+  ScopProgram P = smallKernel();
+  CacheConfig L1;
+  L1.Assoc = 2;
+  L1.BlockBytes = 64;
+  L1.SizeBytes = 4 * 2 * 64;
+  L1.Policy = PolicyKind::Lru;
+  CacheConfig L2 = L1;
+  L2.SizeBytes *= 4;
+  HierarchyConfig H = HierarchyConfig::twoLevel(L1, L2);
+
+  TraceSimOptions TSO;
+  TSO.IncludeScalars = false;
+  TSO.PropagateWritebacks = false;
+  TraceSimulator TS(H, TSO);
+  TraceSimResult TR = TS.runOnProgram(P);
+
+  ConcreteSimulator Ref(P, H);
+  SimStats R = Ref.run();
+  EXPECT_EQ(TR.Stats.totalAccesses(), R.totalAccesses());
+  EXPECT_EQ(TR.Stats.Level[0].Misses, R.Level[0].Misses);
+  EXPECT_EQ(TR.Stats.Level[1].Accesses, R.Level[1].Accesses);
+  EXPECT_EQ(TR.Stats.Level[1].Misses, R.Level[1].Misses);
+  EXPECT_EQ(TR.Writebacks, 0u);
+}
+
+TEST(TraceSimulator, WritebacksOnlyAddL2Traffic) {
+  ScopProgram P = smallKernel();
+  CacheConfig L1;
+  L1.Assoc = 1;
+  L1.BlockBytes = 64;
+  L1.SizeBytes = 2 * 64;
+  L1.Policy = PolicyKind::Lru;
+  CacheConfig L2 = L1;
+  L2.SizeBytes *= 8;
+  HierarchyConfig H = HierarchyConfig::twoLevel(L1, L2);
+
+  TraceSimOptions A;
+  A.PropagateWritebacks = true;
+  TraceSimOptions B = A;
+  B.PropagateWritebacks = false;
+  TraceSimulator SA(H, A), SB(H, B);
+  TraceSimResult RA = SA.runOnProgram(P), RB = SB.runOnProgram(P);
+  EXPECT_EQ(RA.Stats.Level[0].Misses, RB.Stats.Level[0].Misses)
+      << "write-backs never change L1 behavior";
+  EXPECT_GT(RA.Writebacks, 0u) << "dirty victims must occur here";
+}
+
+TEST(StackDistance, MatchesBruteForceLruStack) {
+  // Reference: explicit LRU stack simulation over random block traces.
+  std::mt19937 Rng(7);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    std::vector<BlockId> Trace;
+    std::uniform_int_distribution<BlockId> Blocks(0, 30);
+    for (int I = 0; I < 600; ++I)
+      Trace.push_back(Blocks(Rng));
+
+    StackDistanceProfiler Prof;
+    std::vector<BlockId> Stack; // Front = most recent.
+    std::vector<uint64_t> RefHist;
+    uint64_t RefColds = 0;
+    for (BlockId B : Trace) {
+      auto It = std::find(Stack.begin(), Stack.end(), B);
+      if (It == Stack.end()) {
+        ++RefColds;
+      } else {
+        uint64_t D = static_cast<uint64_t>(It - Stack.begin());
+        if (RefHist.size() <= D)
+          RefHist.resize(D + 1, 0);
+        ++RefHist[D];
+        Stack.erase(It);
+      }
+      Stack.insert(Stack.begin(), B);
+      Prof.accessBlock(B);
+    }
+    EXPECT_EQ(Prof.coldAccesses(), RefColds);
+    ASSERT_EQ(Prof.histogram().size(), RefHist.size());
+    for (size_t D = 0; D < RefHist.size(); ++D)
+      EXPECT_EQ(Prof.histogram()[D], RefHist[D]) << "distance " << D;
+  }
+}
+
+TEST(StackDistance, MissesMatchFullyAssociativeLruSimulation) {
+  ScopProgram P = smallKernel();
+  StackDistanceProfiler Prof = profileProgram(P, 64);
+  for (unsigned Lines : {1u, 2u, 4u, 8u, 16u}) {
+    CacheConfig C;
+    C.Assoc = Lines;
+    C.BlockBytes = 64;
+    C.SizeBytes = static_cast<uint64_t>(Lines) * 64;
+    C.Policy = PolicyKind::Lru;
+    ConcreteSimulator Sim(P, HierarchyConfig::singleLevel(C));
+    SimStats S = Sim.run();
+    EXPECT_EQ(Prof.missesForCache(C), S.Level[0].Misses)
+        << Lines << " lines";
+  }
+}
+
+TEST(StackDistance, StackHistogramIsMonotoneInCacheSize) {
+  ScopProgram P = smallKernel();
+  StackDistanceProfiler Prof = profileProgram(P, 64);
+  uint64_t Prev = UINT64_MAX;
+  for (unsigned K = 1; K <= 64; K *= 2) {
+    uint64_t M = Prof.missesForAssoc(K);
+    EXPECT_LE(M, Prev) << "LRU inclusion property";
+    Prev = M;
+  }
+  EXPECT_GE(Prof.missesForAssoc(1u << 20), Prof.coldAccesses());
+}
+
+} // namespace
