@@ -62,6 +62,30 @@ ScopProgram wcs::bench::mustBuild(const KernelInfo &K, ProblemSize S) {
   return P;
 }
 
+unsigned wcs::bench::jobsFromEnv(unsigned Default) {
+  const char *E = std::getenv("WCS_JOBS");
+  if (!E)
+    return Default;
+  unsigned N = Default;
+  if (!parseJobCount(E, N))
+    std::fprintf(stderr, "warning: ignoring malformed WCS_JOBS '%s'\n", E);
+  return N;
+}
+
+BatchReport wcs::bench::runBatch(const std::vector<BatchJob> &Jobs,
+                                 unsigned DefaultThreads) {
+  BatchRunner Runner(jobsFromEnv(DefaultThreads));
+  BatchReport Rep = Runner.run(Jobs);
+  for (const BatchResult &R : Rep.Results)
+    if (!R.Ok) {
+      std::fprintf(stderr, "fatal: job %zu (%s) failed: %s\n", R.JobIndex,
+                   R.Tag.c_str(), R.Error.c_str());
+      std::exit(1);
+    }
+  std::fprintf(stderr, "batch: %s\n", Rep.summary().c_str());
+  return Rep;
+}
+
 void wcs::bench::requireEqualMisses(const char *Kernel, const SimStats &A,
                                     const SimStats &B) {
   bool Ok = A.totalAccesses() == B.totalAccesses();

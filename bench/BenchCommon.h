@@ -17,10 +17,12 @@
 #define WCS_BENCH_BENCHCOMMON_H
 
 #include "wcs/cache/CacheConfig.h"
+#include "wcs/driver/BatchRunner.h"
 #include "wcs/polybench/Polybench.h"
 #include "wcs/sim/SimStats.h"
 
 #include <string>
+#include <vector>
 
 namespace wcs {
 namespace bench {
@@ -42,6 +44,20 @@ CacheConfig fullyAssociativeTwin(const CacheConfig &C);
 
 /// Builds a kernel or dies with a message.
 ScopProgram mustBuild(const KernelInfo &K, ProblemSize S);
+
+/// Worker-thread count from $WCS_JOBS, or \p Default when unset or
+/// malformed (malformed values warn). 0 means every hardware thread.
+unsigned jobsFromEnv(unsigned Default);
+
+/// Runs \p Jobs on a BatchRunner sized by $WCS_JOBS (defaulting to
+/// \p DefaultThreads when unset), dies if any job failed, and prints the
+/// batch throughput summary to stderr (kept off stdout so figure tables
+/// stay machine-readable). Harnesses whose *timing* columns feed a
+/// figure should pass DefaultThreads = 1: concurrent jobs contend for
+/// cores and memory bandwidth, so parallelism must be an explicit
+/// WCS_JOBS opt-in there. Counter-only harnesses can pass 0 (all cores).
+BatchReport runBatch(const std::vector<BatchJob> &Jobs,
+                     unsigned DefaultThreads = 1);
 
 /// Aborts the benchmark if two simulators disagree (soundness check that
 /// runs inside every figure harness).

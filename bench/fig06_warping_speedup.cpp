@@ -14,15 +14,18 @@
 // kernels with multi-directional reuse (gemm, lu, floyd-warshall, ...)
 // do not warp and stay near 1x.
 //
-// Environment: WCS_SIZE=mini|small|medium|large|xlarge (default large).
+// Environment: WCS_SIZE=mini|small|medium|large|xlarge (default large);
+//              WCS_JOBS=N batch worker threads. Defaults to 1 because the
+//              timing columns feed the figure: concurrent jobs contend
+//              for cores and bandwidth, so parallel runs (fine for
+//              counter checks, not for timings) are an explicit opt-in.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "wcs/sim/ConcreteSimulator.h"
-#include "wcs/sim/WarpingSimulator.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace wcs;
 using namespace wcs::bench;
@@ -37,25 +40,43 @@ int main() {
   const PolicyKind Policies[] = {PolicyKind::Lru, PolicyKind::Fifo,
                                  PolicyKind::Plru, PolicyKind::QuadAgeLru};
 
+  // The whole figure as one batch: per kernel and policy, a non-warping
+  // job and a warping job. Results come back in job order, so the table
+  // below is identical for any WCS_JOBS.
+  const std::vector<KernelInfo> &Kernels = polybenchKernels();
+  std::vector<ScopProgram> Programs;
+  Programs.reserve(Kernels.size());
+  std::vector<BatchJob> Jobs;
+  for (const KernelInfo &K : Kernels) {
+    Programs.push_back(mustBuild(K, Size));
+    for (unsigned PI = 0; PI < 4; ++PI) {
+      CacheConfig C = Base;
+      C.Policy = Policies[PI];
+      BatchJob J;
+      J.Program = &Programs.back();
+      J.Cache = HierarchyConfig::singleLevel(C);
+      J.Tag = std::string(K.Name) + "/" + policyName(Policies[PI]);
+      J.Backend = SimBackend::Concrete;
+      Jobs.push_back(J);
+      J.Backend = SimBackend::Warping;
+      Jobs.push_back(std::move(J));
+    }
+  }
+  BatchReport Rep = runBatch(Jobs);
+
   std::printf("%-15s %-6s %12s %11s %11s %9s %13s\n", "kernel", "policy",
               "accesses", "nonwarp[s]", "warp[s]", "speedup",
               "non-warped[%]");
   GeoMean Mean[4];
-  for (const KernelInfo &K : polybenchKernels()) {
-    ScopProgram P = mustBuild(K, Size);
+  for (size_t KI = 0; KI < Kernels.size(); ++KI) {
     for (unsigned PI = 0; PI < 4; ++PI) {
-      CacheConfig C = Base;
-      C.Policy = Policies[PI];
-      HierarchyConfig H = HierarchyConfig::singleLevel(C);
-      ConcreteSimulator Ref(P, H);
-      SimStats R = Ref.run();
-      WarpingSimulator Warp(P, H);
-      SimStats W = Warp.run();
-      requireEqualMisses(K.Name, R, W);
+      const SimStats &R = Rep.Results[(KI * 4 + PI) * 2].Stats;
+      const SimStats &W = Rep.Results[(KI * 4 + PI) * 2 + 1].Stats;
+      requireEqualMisses(Kernels[KI].Name, R, W);
       double Speedup = R.Seconds / W.Seconds;
       Mean[PI].add(Speedup);
       std::printf("%-15s %-6s %12llu %11.3f %11.3f %8.2fx %13.2f\n",
-                  K.Name, policyName(Policies[PI]),
+                  Kernels[KI].Name, policyName(Policies[PI]),
                   static_cast<unsigned long long>(R.totalAccesses()),
                   R.Seconds, W.Seconds, Speedup,
                   100.0 * W.nonWarpedShare());

@@ -1,0 +1,121 @@
+//===- wcs/driver/BatchRunner.h - Parallel batch simulation -----*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel batch driver: fans a work list of (program, cache config)
+/// simulation jobs across N worker threads and collects per-job results.
+/// Jobs are independent (every simulator owns its entire state), so the
+/// counters of each job are bit-identical regardless of thread count and
+/// schedule; only wall-clock fields vary. The driver exposes the three
+/// simulation backends -- warping (Algorithm 2), concrete (Algorithm 1)
+/// and trace-driven (Dinero-style) -- behind one job interface, which is
+/// what the command-line tool and the figure harnesses drive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_DRIVER_BATCHRUNNER_H
+#define WCS_DRIVER_BATCHRUNNER_H
+
+#include "wcs/cache/CacheConfig.h"
+#include "wcs/scop/Program.h"
+#include "wcs/sim/SimConfig.h"
+#include "wcs/sim/SimStats.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wcs {
+
+/// The simulation engine a job runs on.
+enum class SimBackend {
+  Warping,  ///< Warping symbolic simulation (paper Algorithm 2).
+  Concrete, ///< Non-warping simulation (paper Algorithm 1).
+  Trace,    ///< Trace-driven simulation (materialized address trace).
+};
+
+const char *backendName(SimBackend B);
+
+/// Strictly parses a worker-thread count (digits only, fits unsigned):
+/// the one parser behind --jobs and $WCS_JOBS, so tool and bench
+/// harnesses accept exactly the same inputs. Returns false on malformed
+/// input, leaving \p Out untouched.
+bool parseJobCount(const char *Text, unsigned &Out);
+
+/// One unit of batch work: simulate \p Program on \p Cache with \p Backend.
+struct BatchJob {
+  /// Non-owning; the program must outlive BatchRunner::run(). Programs are
+  /// shared freely between jobs: simulation never mutates them.
+  const ScopProgram *Program = nullptr;
+  HierarchyConfig Cache;
+  SimOptions Options;
+  SimBackend Backend = SimBackend::Warping;
+  /// Label carried through to the result (e.g. "gemm/large/L1+L2").
+  std::string Tag;
+};
+
+/// Outcome of one job.
+struct BatchResult {
+  size_t JobIndex = 0;
+  std::string Tag;
+  SimStats Stats;
+  bool Ok = false;
+  std::string Error; ///< Set when Ok is false (e.g. invalid config).
+};
+
+/// Everything run() returns: per-job results in job order plus batch-level
+/// wall-clock and throughput figures.
+struct BatchReport {
+  std::vector<BatchResult> Results; ///< Indexed by job order.
+  unsigned Threads = 1;
+  double WallSeconds = 0.0;
+
+  bool allOk() const;
+  uint64_t totalAccesses() const;
+  /// Sum of per-job simulation seconds (the serial-execution estimate).
+  double cpuSeconds() const;
+  double jobsPerSecond() const;
+  double accessesPerSecond() const;
+
+  /// One-line throughput summary for tools and benches.
+  std::string summary() const;
+};
+
+/// Thread-pool batch scheduler. Worker threads pull jobs from a shared
+/// atomic cursor (dynamic scheduling: long jobs do not convoy short ones)
+/// and write results into a preallocated slot per job, so the result
+/// vector is deterministic in content and order for any thread count.
+class BatchRunner {
+public:
+  /// \p NumThreads = 0 selects std::thread::hardware_concurrency().
+  explicit BatchRunner(unsigned NumThreads = 0);
+
+  unsigned threads() const { return NumThreads; }
+
+  /// Observer invoked once per finished job, serialized under a lock but
+  /// concurrent with other jobs' execution; must be set before run().
+  void setProgress(std::function<void(const BatchResult &)> Fn) {
+    Progress = std::move(Fn);
+  }
+
+  /// Runs all jobs and blocks until completion.
+  BatchReport run(const std::vector<BatchJob> &Jobs);
+
+  /// Executes a single job synchronously on the calling thread (the unit
+  /// of work the pool dispatches; exposed for tests and single-job
+  /// callers).
+  static BatchResult runJob(const BatchJob &Job, size_t JobIndex = 0);
+
+private:
+  unsigned NumThreads;
+  std::function<void(const BatchResult &)> Progress;
+};
+
+} // namespace wcs
+
+#endif // WCS_DRIVER_BATCHRUNNER_H

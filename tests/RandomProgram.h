@@ -1,0 +1,128 @@
+//===- tests/RandomProgram.h - Randomized SCoP/cache generators -*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized program and cache-geometry generators shared by the
+/// property-test suites (simulator equivalence, batch determinism,
+/// stack-distance cross-checks). All randomness flows from the caller's
+/// seeded engine, so every failure is reproducible from the test name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_TESTS_RANDOMPROGRAM_H
+#define WCS_TESTS_RANDOMPROGRAM_H
+
+#include "wcs/cache/CacheConfig.h"
+#include "wcs/scop/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace wcs {
+namespace testutil {
+
+/// Generates a random but well-formed SCoP: loop nests of depth 1-3 with
+/// constant or triangular bounds, in-bounds affine accesses (so that the
+/// block-aligned layout keeps arrays disjoint), occasional guards.
+inline ScopProgram generateProgram(std::mt19937 &Rng) {
+  auto Rand = [&](int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+  };
+
+  ScopBuilder B("random");
+  // Loop extent cap: subscripts stay within MaxIter*2 + 4.
+  const int MaxIter = Rand(6, 14);
+  struct Arr {
+    unsigned Id;
+    unsigned Dims;
+  };
+  std::vector<Arr> Arrays;
+  unsigned NumArrays = Rand(1, 3);
+  for (unsigned I = 0; I < NumArrays; ++I) {
+    unsigned Dims = Rand(1, 2);
+    std::vector<int64_t> Ext(Dims, 2 * MaxIter + 6);
+    unsigned Elem = Rand(0, 1) ? 8 : 4;
+    Arrays.push_back(
+        Arr{B.addArray("A" + std::to_string(I), Elem, std::move(Ext)), Dims});
+  }
+
+  // A random affine subscript over the current iterators, guaranteed to
+  // stay within [0, 2*MaxIter + 5].
+  auto Subscript = [&]() {
+    if (B.depth() == 0 || Rand(0, 4) == 0)
+      return B.cst(Rand(0, 3));
+    unsigned Lvl = Rand(0, static_cast<int>(B.depth()) - 1);
+    int Coef = Rand(0, 3) == 0 ? 2 : 1;
+    return B.iterAt(Lvl) * Coef + B.cst(Rand(0, 3));
+  };
+  auto EmitAccess = [&]() {
+    const Arr &A = Arrays[Rand(0, static_cast<int>(Arrays.size()) - 1)];
+    std::vector<AffineExpr> Subs;
+    for (unsigned K = 0; K < A.Dims; ++K)
+      Subs.push_back(Subscript());
+    B.access(A.Id, Rand(0, 2) == 0 ? AccessKind::Write : AccessKind::Read,
+             std::move(Subs));
+  };
+
+  unsigned NumNests = Rand(1, 2);
+  for (unsigned Nest = 0; Nest < NumNests; ++Nest) {
+    unsigned Depth = Rand(1, 3);
+    for (unsigned D = 0; D < Depth; ++D) {
+      AffineExpr Lo = B.cst(Rand(0, 2));
+      // Occasionally triangular: lower bound = an outer iterator.
+      if (D > 0 && Rand(0, 2) == 0)
+        Lo = B.iterAt(Rand(0, static_cast<int>(B.depth()) - 1));
+      B.beginLoop("i" + std::to_string(Nest) + std::to_string(D),
+                  std::move(Lo), B.cst(MaxIter));
+      if (Rand(0, 3) == 0)
+        EmitAccess(); // Access between loop levels.
+    }
+    unsigned Body = Rand(1, 4);
+    for (unsigned S = 0; S < Body; ++S) {
+      bool Guarded = Rand(0, 3) == 0;
+      if (Guarded)
+        B.beginGuard(Constraint::ge(
+            B.iterAt(static_cast<int>(B.depth()) - 1) - B.cst(Rand(1, 5))));
+      EmitAccess();
+      if (Guarded)
+        B.endGuard();
+    }
+    for (unsigned D = 0; D < Depth; ++D)
+      B.endLoop();
+  }
+  std::string Err;
+  ScopProgram P = B.finish(&Err);
+  EXPECT_EQ(Err, "");
+  return P;
+}
+
+/// A random one- or two-level hierarchy with policy \p K (the L2 policy
+/// is varied for PLRU, whose associativity constraint limits geometries).
+inline HierarchyConfig randomHierarchy(std::mt19937 &Rng, PolicyKind K,
+                                       bool TwoLevel) {
+  auto Rand = [&](int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+  };
+  CacheConfig L1;
+  L1.BlockBytes = 64;
+  L1.Assoc = 1u << Rand(0, 2);             // 1, 2 or 4 ways.
+  unsigned Sets = 1u << Rand(0, 3);        // 1..8 sets.
+  L1.SizeBytes = static_cast<uint64_t>(L1.Assoc) * Sets * 64;
+  L1.Policy = K;
+  if (!TwoLevel)
+    return HierarchyConfig::singleLevel(L1);
+  CacheConfig L2 = L1;
+  L2.SizeBytes *= 1u << Rand(1, 2); // 2x or 4x the sets.
+  L2.Policy = K == PolicyKind::Plru ? PolicyKind::QuadAgeLru : K;
+  return HierarchyConfig::twoLevel(L1, L2);
+}
+
+} // namespace testutil
+} // namespace wcs
+
+#endif // WCS_TESTS_RANDOMPROGRAM_H

@@ -1,0 +1,226 @@
+//===- tests/batch_runner_test.cpp - Parallel batch determinism -----------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// The contract of the batch driver: per-job counters are bit-identical
+// for any worker-thread count and schedule, results arrive in job order,
+// the three backends agree on hit/miss classification, and job-level
+// failures are reported without poisoning the batch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "wcs/driver/BatchRunner.h"
+#include "wcs/polybench/Polybench.h"
+#include "wcs/sim/ConcreteSimulator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+
+using namespace wcs;
+using testutil::generateProgram;
+using testutil::randomHierarchy;
+
+namespace {
+
+/// A randomized work list over all policies, both hierarchy depths and
+/// all three backends. Programs are owned by the fixture and shared by
+/// pointer, as in production use.
+struct RandomBatch {
+  std::vector<ScopProgram> Programs;
+  std::vector<BatchJob> Jobs;
+
+  explicit RandomBatch(unsigned Seed, unsigned NumJobs) {
+    std::mt19937 Rng(Seed);
+    auto Rand = [&](int Lo, int Hi) {
+      return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+    };
+    const PolicyKind Policies[] = {PolicyKind::Lru, PolicyKind::Fifo,
+                                   PolicyKind::Plru, PolicyKind::QuadAgeLru};
+    Programs.reserve(NumJobs); // Stable addresses for Job.Program.
+    for (unsigned I = 0; I < NumJobs; ++I) {
+      Programs.push_back(generateProgram(Rng));
+      BatchJob J;
+      J.Program = &Programs.back();
+      J.Cache = randomHierarchy(Rng, Policies[Rand(0, 3)], Rand(0, 1) == 1);
+      J.Backend = static_cast<SimBackend>(Rand(0, 2));
+      J.Tag = "job" + std::to_string(I);
+      Jobs.push_back(std::move(J));
+    }
+  }
+};
+
+/// Strips the fields that legitimately vary between runs (wall-clock)
+/// down to the deterministic counter tuple.
+std::vector<uint64_t> counterKey(const BatchReport &Rep) {
+  std::vector<uint64_t> Key;
+  for (const BatchResult &R : Rep.Results) {
+    Key.push_back(R.Ok);
+    Key.push_back(R.JobIndex);
+    const SimStats &S = R.Stats;
+    Key.push_back(S.NumLevels);
+    for (unsigned L = 0; L < S.NumLevels; ++L) {
+      Key.push_back(S.Level[L].Accesses);
+      Key.push_back(S.Level[L].Misses);
+    }
+    Key.push_back(S.SimulatedAccesses);
+    Key.push_back(S.WarpedAccesses);
+  }
+  return Key;
+}
+
+TEST(BatchRunner, DeterministicAcrossThreadCounts) {
+  RandomBatch Batch(/*Seed=*/20220613, /*NumJobs=*/24);
+
+  BatchReport Serial = BatchRunner(1).run(Batch.Jobs);
+  ASSERT_TRUE(Serial.allOk());
+  std::vector<uint64_t> Expected = counterKey(Serial);
+
+  for (unsigned Threads : {2u, 8u}) {
+    BatchReport Par = BatchRunner(Threads).run(Batch.Jobs);
+    ASSERT_TRUE(Par.allOk()) << Threads << " threads";
+    EXPECT_EQ(counterKey(Par), Expected)
+        << "counters depend on thread count " << Threads;
+  }
+}
+
+TEST(BatchRunner, ResultsStayInJobOrder) {
+  RandomBatch Batch(/*Seed=*/42, /*NumJobs=*/16);
+  BatchReport Rep = BatchRunner(8).run(Batch.Jobs);
+  ASSERT_EQ(Rep.Results.size(), Batch.Jobs.size());
+  for (size_t I = 0; I < Rep.Results.size(); ++I) {
+    EXPECT_EQ(Rep.Results[I].JobIndex, I);
+    EXPECT_EQ(Rep.Results[I].Tag, Batch.Jobs[I].Tag);
+  }
+}
+
+TEST(BatchRunner, BackendsAgreeOnMissCounts) {
+  std::mt19937 Rng(7);
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    ScopProgram P = generateProgram(Rng);
+    HierarchyConfig H = randomHierarchy(Rng, PolicyKind::Lru, true);
+
+    std::vector<BatchJob> Jobs(3);
+    for (auto &J : Jobs) {
+      J.Program = &P;
+      J.Cache = H;
+    }
+    Jobs[0].Backend = SimBackend::Warping;
+    Jobs[1].Backend = SimBackend::Concrete;
+    Jobs[2].Backend = SimBackend::Trace;
+
+    BatchReport Rep = BatchRunner(3).run(Jobs);
+    ASSERT_TRUE(Rep.allOk());
+    const SimStats &W = Rep.Results[0].Stats;
+    const SimStats &C = Rep.Results[1].Stats;
+    const SimStats &T = Rep.Results[2].Stats;
+    for (const SimStats *S : {&C, &T}) {
+      ASSERT_EQ(S->totalAccesses(), W.totalAccesses()) << "trial " << Trial;
+      for (unsigned L = 0; L < W.NumLevels; ++L)
+        ASSERT_EQ(S->Level[L].Misses, W.Level[L].Misses)
+            << "trial " << Trial << " level " << L;
+    }
+  }
+}
+
+TEST(BatchRunner, SingleJobMatchesDirectSimulation) {
+  std::mt19937 Rng(99);
+  ScopProgram P = generateProgram(Rng);
+  HierarchyConfig H = randomHierarchy(Rng, PolicyKind::Plru, false);
+
+  ConcreteSimulator Direct(P, H);
+  SimStats Ref = Direct.run();
+
+  BatchJob J;
+  J.Program = &P;
+  J.Cache = H;
+  J.Backend = SimBackend::Concrete;
+  BatchResult R = BatchRunner::runJob(J);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Stats.totalAccesses(), Ref.totalAccesses());
+  EXPECT_EQ(R.Stats.Level[0].Misses, Ref.Level[0].Misses);
+}
+
+TEST(BatchRunner, InvalidJobsFailIndividually) {
+  std::mt19937 Rng(5);
+  ScopProgram P = generateProgram(Rng);
+
+  std::vector<BatchJob> Jobs(3);
+  Jobs[0].Program = &P;
+  Jobs[0].Cache = HierarchyConfig::singleLevel(CacheConfig());
+  Jobs[1].Program = nullptr; // Missing program.
+  Jobs[1].Cache = Jobs[0].Cache;
+  CacheConfig Bad;
+  Bad.SizeBytes = 100; // Not set-aligned: validate() rejects it.
+  Jobs[2].Program = &P;
+  Jobs[2].Cache = HierarchyConfig::singleLevel(Bad);
+
+  BatchReport Rep = BatchRunner(2).run(Jobs);
+  EXPECT_TRUE(Rep.Results[0].Ok) << Rep.Results[0].Error;
+  EXPECT_FALSE(Rep.Results[1].Ok);
+  EXPECT_FALSE(Rep.Results[2].Ok);
+  EXPECT_FALSE(Rep.allOk());
+  EXPECT_NE(Rep.Results[1].Error, "");
+  EXPECT_NE(Rep.Results[2].Error, "");
+}
+
+TEST(BatchRunner, ParseJobCountIsStrict) {
+  unsigned N = 77;
+  EXPECT_TRUE(parseJobCount("0", N));
+  EXPECT_EQ(N, 0u);
+  EXPECT_TRUE(parseJobCount("16", N));
+  EXPECT_EQ(N, 16u);
+  for (const char *Bad :
+       {"", "-1", "+4", " 8", "8 ", "abc", "1O", "4294967296"}) {
+    N = 77;
+    EXPECT_FALSE(parseJobCount(Bad, N)) << "'" << Bad << "'";
+    EXPECT_EQ(N, 77u) << "out param clobbered on '" << Bad << "'";
+  }
+  EXPECT_FALSE(parseJobCount(nullptr, N));
+}
+
+TEST(BatchRunner, ProgressSeesEveryJobExactlyOnce) {
+  RandomBatch Batch(/*Seed=*/11, /*NumJobs=*/12);
+  std::vector<unsigned> Seen(Batch.Jobs.size(), 0);
+  BatchRunner Runner(4);
+  Runner.setProgress([&](const BatchResult &R) { ++Seen[R.JobIndex]; });
+  BatchReport Rep = Runner.run(Batch.Jobs);
+  ASSERT_TRUE(Rep.allOk());
+  for (unsigned Count : Seen)
+    EXPECT_EQ(Count, 1u);
+}
+
+TEST(BatchRunner, PolybenchKernelAcrossThreadCounts) {
+  // One real kernel at a small size, swept over configs, as wcs-sim does.
+  std::string Err;
+  ScopProgram P = buildKernel("gemm", ProblemSize::Mini, &Err);
+  ASSERT_EQ(Err, "");
+
+  std::vector<BatchJob> Jobs;
+  for (PolicyKind K : {PolicyKind::Lru, PolicyKind::Plru}) {
+    CacheConfig L1 = CacheConfig::scaledL1();
+    L1.Policy = K;
+    for (SimBackend B : {SimBackend::Warping, SimBackend::Concrete}) {
+      BatchJob J;
+      J.Program = &P;
+      J.Cache = HierarchyConfig::singleLevel(L1);
+      J.Backend = B;
+      Jobs.push_back(std::move(J));
+    }
+  }
+
+  BatchReport One = BatchRunner(1).run(Jobs);
+  BatchReport Eight = BatchRunner(8).run(Jobs);
+  ASSERT_TRUE(One.allOk() && Eight.allOk());
+  EXPECT_EQ(counterKey(One), counterKey(Eight));
+  // Warping and concrete agree per config.
+  EXPECT_EQ(One.Results[0].Stats.Level[0].Misses,
+            One.Results[1].Stats.Level[0].Misses);
+  EXPECT_EQ(One.Results[2].Stats.Level[0].Misses,
+            One.Results[3].Stats.Level[0].Misses);
+}
+
+} // namespace

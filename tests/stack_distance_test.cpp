@@ -1,0 +1,119 @@
+//===- tests/stack_distance_test.cpp - Stack-distance cross-checks --------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// Validates the stack-distance profiler (the HayStack-style LRU model)
+// against ground truth from two directions: hand-computed distances on
+// tiny traces, and a seeded property test cross-checking the derived
+// fully-associative LRU miss counts against ConcreteSimulator over
+// randomized programs and associativities.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "wcs/sim/ConcreteSimulator.h"
+#include "wcs/trace/StackDistance.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+using namespace wcs;
+using testutil::generateProgram;
+
+namespace {
+
+TEST(StackDistance, HandComputedTinyTrace) {
+  // Block trace a b c a c b with 64-byte blocks:
+  //   a,b,c cold; then a at distance 2, c at distance 1, b at distance 2.
+  StackDistanceProfiler Prof(64);
+  for (int64_t Block : {0, 1, 2, 0, 2, 1})
+    Prof.accessAddr(Block * 64);
+
+  EXPECT_EQ(Prof.totalAccesses(), 6u);
+  EXPECT_EQ(Prof.coldAccesses(), 3u);
+  ASSERT_GE(Prof.histogram().size(), 3u);
+  EXPECT_EQ(Prof.histogram()[1], 1u);
+  EXPECT_EQ(Prof.histogram()[2], 2u);
+
+  // 1 line: only the repeat at distance 0 would hit; everything misses.
+  EXPECT_EQ(Prof.missesForAssoc(1), 6u);
+  // 2 lines: the distance-1 access hits.
+  EXPECT_EQ(Prof.missesForAssoc(2), 5u);
+  // 3+ lines: only the colds miss.
+  EXPECT_EQ(Prof.missesForAssoc(3), 3u);
+  EXPECT_EQ(Prof.missesForAssoc(64), 3u);
+}
+
+TEST(StackDistance, SameBlockHitsAtAnyCapacity) {
+  StackDistanceProfiler Prof(64);
+  for (int I = 0; I < 5; ++I)
+    Prof.accessAddr(8 * I); // All within block 0.
+  EXPECT_EQ(Prof.coldAccesses(), 1u);
+  EXPECT_EQ(Prof.missesForAssoc(1), 1u);
+}
+
+TEST(StackDistance, HistogramAccountsForEveryAccess) {
+  std::mt19937 Rng(2022);
+  ScopProgram P = generateProgram(Rng);
+  StackDistanceProfiler Prof = profileProgram(P, 64, /*IncludeScalars=*/false);
+  uint64_t Finite = std::accumulate(Prof.histogram().begin(),
+                                    Prof.histogram().end(), uint64_t{0});
+  EXPECT_EQ(Finite + Prof.coldAccesses(), Prof.totalAccesses());
+}
+
+TEST(StackDistance, MissesMonotoneInAssociativity) {
+  std::mt19937 Rng(31337);
+  ScopProgram P = generateProgram(Rng);
+  StackDistanceProfiler Prof = profileProgram(P, 64, false);
+  for (uint64_t A = 1; A < 64; ++A)
+    EXPECT_GE(Prof.missesForAssoc(A), Prof.missesForAssoc(A + 1)) << A;
+}
+
+/// The profiler's derived miss count must equal concrete simulation of a
+/// fully-associative LRU cache, access for access (Mattson's inclusion
+/// property made executable).
+TEST(StackDistance, MatchesConcreteFullyAssociativeLru) {
+  std::mt19937 Rng(424242);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    ScopProgram P = generateProgram(Rng);
+    StackDistanceProfiler Prof = profileProgram(P, 64, false);
+    for (unsigned Lines : {1u, 2u, 4u, 8u, 32u}) {
+      CacheConfig C;
+      C.BlockBytes = 64;
+      C.Assoc = Lines; // One set: fully associative.
+      C.SizeBytes = static_cast<uint64_t>(Lines) * 64;
+      C.Policy = PolicyKind::Lru;
+      ASSERT_EQ(C.validate(), "");
+
+      ConcreteSimulator Sim(P, HierarchyConfig::singleLevel(C));
+      SimStats S = Sim.run();
+      ASSERT_EQ(S.totalAccesses(), Prof.totalAccesses())
+          << "trial " << Trial << " lines " << Lines;
+      EXPECT_EQ(Prof.missesForCache(C), S.Level[0].Misses)
+          << "trial " << Trial << " lines " << Lines << "\n"
+          << P.str();
+    }
+  }
+}
+
+/// Same cross-check at a different block size (the profiler's only
+/// geometry parameter).
+TEST(StackDistance, MatchesConcreteAtSmallBlockSize) {
+  std::mt19937 Rng(55);
+  ScopProgram P = generateProgram(Rng);
+  StackDistanceProfiler Prof = profileProgram(P, 16, false);
+  for (unsigned Lines : {2u, 8u}) {
+    CacheConfig C;
+    C.BlockBytes = 16;
+    C.Assoc = Lines;
+    C.SizeBytes = static_cast<uint64_t>(Lines) * 16;
+    C.Policy = PolicyKind::Lru;
+    ConcreteSimulator Sim(P, HierarchyConfig::singleLevel(C));
+    EXPECT_EQ(Prof.missesForCache(C), Sim.run().Level[0].Misses) << Lines;
+  }
+}
+
+} // namespace

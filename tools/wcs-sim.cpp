@@ -11,14 +11,18 @@
 //   wcs-sim --kernel jacobi-2d --size large
 //   wcs-sim --file mykernel.c --param N=1024 --l1 4096,8,plru
 //           --l2 32768,16,qlru
-//   wcs-sim --kernel gemm --no-warp --compare
+//   wcs-sim --kernel gemm --compare
+//   wcs-sim --all --size medium --jobs 8
+//
+// Simulation runs through the wcs::BatchRunner driver: --all sweeps the
+// whole PolyBench registry as one batch and --jobs N fans the jobs over
+// N worker threads (counters are identical for every N).
 //
 //===----------------------------------------------------------------------===//
 
+#include "wcs/driver/BatchRunner.h"
 #include "wcs/frontend/Frontend.h"
 #include "wcs/polybench/Polybench.h"
-#include "wcs/sim/ConcreteSimulator.h"
-#include "wcs/sim/WarpingSimulator.h"
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +40,7 @@ void usage() {
       stderr,
       "usage: wcs-sim [options]\n"
       "  --kernel NAME         simulate a PolyBench kernel (see --list)\n"
+      "  --all                 simulate every PolyBench kernel (batch)\n"
       "  --size S              mini|small|medium|large|xlarge "
       "(default: large)\n"
       "  --file PATH           simulate a kernel file in the wcs dialect\n"
@@ -44,8 +49,11 @@ void usage() {
       "  --l2 BYTES,ASSOC,POL  add an L2 (pol: lru|fifo|plru|qlru)\n"
       "  --no-write-allocate   write misses bypass the L1\n"
       "  --scalars             include scalar accesses\n"
-      "  --no-warp             plain (Algorithm 1) simulation only\n"
-      "  --compare             run both simulators and verify + report\n"
+      "  --backend B           warp|concrete|trace (default: warp)\n"
+      "  --no-warp             same as --backend concrete\n"
+      "  --compare             run warping + concrete and verify + report\n"
+      "  --jobs N              simulate on N worker threads "
+      "(default 1; 0 = all cores)\n"
       "  --dump                print the program tree before simulating\n"
       "  --list                list the PolyBench kernels and exit\n");
 }
@@ -115,7 +123,10 @@ int main(int argc, char **argv) {
   std::map<std::string, int64_t> Params;
   CacheConfig L1{4096, 8, 64, PolicyKind::Plru, WriteAllocate::Yes};
   CacheConfig L2;
-  bool HasL2 = false, NoWarp = false, Compare = false, Dump = false;
+  bool HasL2 = false, All = false, Compare = false, Dump = false;
+  SimBackend Backend = SimBackend::Warping;
+  bool BackendSet = false;
+  unsigned Jobs = 1;
   SimOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
@@ -129,6 +140,29 @@ int main(int argc, char **argv) {
     };
     if (A == "--kernel") {
       Kernel = Next();
+    } else if (A == "--all") {
+      All = true;
+    } else if (A == "--jobs") {
+      const char *N = Next();
+      if (!parseJobCount(N, Jobs)) {
+        std::fprintf(stderr,
+                     "error: --jobs expects a non-negative number, got '%s'\n",
+                     N);
+        return 2;
+      }
+    } else if (A == "--backend") {
+      std::string B = Next();
+      if (B == "warp")
+        Backend = SimBackend::Warping;
+      else if (B == "concrete")
+        Backend = SimBackend::Concrete;
+      else if (B == "trace")
+        Backend = SimBackend::Trace;
+      else {
+        std::fprintf(stderr, "error: unknown backend '%s'\n", B.c_str());
+        return 2;
+      }
+      BackendSet = true;
     } else if (A == "--file") {
       File = Next();
     } else if (A == "--size") {
@@ -160,7 +194,8 @@ int main(int argc, char **argv) {
     } else if (A == "--scalars") {
       Opts.IncludeScalars = true;
     } else if (A == "--no-warp") {
-      NoWarp = true;
+      Backend = SimBackend::Concrete;
+      BackendSet = true;
     } else if (A == "--compare") {
       Compare = true;
     } else if (A == "--dump") {
@@ -179,16 +214,37 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (Kernel.empty() == File.empty()) {
-    std::fprintf(stderr, "error: give exactly one of --kernel / --file\n");
+  if (Compare && BackendSet) {
+    std::fprintf(stderr, "error: --compare always runs the warping vs "
+                         "concrete pair; drop --backend / --no-warp\n");
+    return 2;
+  }
+  if (static_cast<int>(!Kernel.empty()) + static_cast<int>(!File.empty()) +
+          static_cast<int>(All) !=
+      1) {
+    std::fprintf(stderr,
+                 "error: give exactly one of --kernel / --file / --all\n");
     usage();
     return 2;
   }
 
-  ScopProgram P;
-  if (!Kernel.empty()) {
+  // The work list: one or thirty programs, owned here and shared by the
+  // jobs (stable addresses via reserve).
+  std::vector<ScopProgram> Programs;
+  if (All) {
+    const std::vector<KernelInfo> &Kernels = polybenchKernels();
+    Programs.reserve(Kernels.size());
+    for (const KernelInfo &K : Kernels) {
+      std::string Err;
+      Programs.push_back(buildKernel(K, Size, &Err));
+      if (!Err.empty()) {
+        std::fprintf(stderr, "error: %s: %s\n", K.Name, Err.c_str());
+        return 1;
+      }
+    }
+  } else if (!Kernel.empty()) {
     std::string Err;
-    P = buildKernel(Kernel, Size, &Err);
+    Programs.push_back(buildKernel(Kernel, Size, &Err));
     if (!Err.empty()) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 1;
@@ -207,7 +263,7 @@ int main(int argc, char **argv) {
                    PR.message().c_str());
       return 1;
     }
-    P = std::move(PR.Program);
+    Programs.push_back(std::move(PR.Program));
   }
 
   HierarchyConfig H = HasL2 ? HierarchyConfig::twoLevel(L1, L2)
@@ -217,35 +273,70 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", CfgErr.c_str());
     return 2;
   }
+  std::printf("cache    %s\n", H.str().c_str());
 
-  if (Dump)
-    std::printf("%s\n", P.str().c_str());
-  std::printf("program  %s\ncache    %s\n\n", P.Name.c_str(),
-              H.str().c_str());
+  // Per program: one job for the chosen backend, or a concrete + warping
+  // pair under --compare.
+  std::vector<BatchJob> Work;
+  for (const ScopProgram &P : Programs) {
+    if (Dump)
+      std::printf("%s\n", P.str().c_str());
+    BatchJob J;
+    J.Program = &P;
+    J.Cache = H;
+    J.Options = Opts;
+    J.Tag = P.Name;
+    if (Compare) {
+      J.Backend = SimBackend::Concrete;
+      Work.push_back(J);
+      J.Backend = SimBackend::Warping;
+      Work.push_back(std::move(J));
+    } else {
+      J.Backend = Backend;
+      Work.push_back(std::move(J));
+    }
+  }
 
-  if (Compare) {
-    ConcreteSimulator Ref(P, H, Opts);
-    SimStats R = Ref.run();
-    WarpingSimulator Warp(P, H, Opts);
-    SimStats W = Warp.run();
-    printStats("non-warping (Algorithm 1)", R);
-    printStats("warping (Algorithm 2)", W);
-    bool Ok = R.totalAccesses() == W.totalAccesses();
-    for (unsigned L = 0; L < R.NumLevels; ++L)
-      Ok = Ok && R.Level[L].Misses == W.Level[L].Misses;
-    std::printf("\n%s  (speedup %.2fx)\n",
-                Ok ? "results MATCH" : "results DIFFER (bug!)",
-                R.Seconds / W.Seconds);
-    return Ok ? 0 : 1;
+  BatchRunner Runner(Jobs);
+  BatchReport Rep = Runner.run(Work);
+
+  bool AllMatch = true;
+  for (size_t PI = 0; PI < Programs.size(); ++PI) {
+    const size_t Base = Compare ? 2 * PI : PI;
+    for (size_t J = Base; J < Base + (Compare ? 2u : 1u); ++J)
+      if (!Rep.Results[J].Ok) {
+        std::fprintf(stderr, "error: %s: %s\n", Rep.Results[J].Tag.c_str(),
+                     Rep.Results[J].Error.c_str());
+        return 1;
+      }
+    std::printf("\nprogram  %s\n", Programs[PI].Name.c_str());
+    if (Compare) {
+      const SimStats &R = Rep.Results[Base].Stats;
+      const SimStats &W = Rep.Results[Base + 1].Stats;
+      printStats("non-warping (Algorithm 1)", R);
+      printStats("warping (Algorithm 2)", W);
+      bool Ok = R.totalAccesses() == W.totalAccesses();
+      for (unsigned L = 0; L < R.NumLevels; ++L)
+        Ok = Ok && R.Level[L].Misses == W.Level[L].Misses;
+      AllMatch = AllMatch && Ok;
+      std::printf("%s  (speedup %.2fx)\n",
+                  Ok ? "results MATCH" : "results DIFFER (bug!)",
+                  R.Seconds / W.Seconds);
+    } else {
+      const char *Tag = Backend == SimBackend::Warping
+                            ? "warping (Algorithm 2)"
+                            : Backend == SimBackend::Concrete
+                                  ? "non-warping (Algorithm 1)"
+                                  : "trace-driven";
+      printStats(Tag, Rep.Results[Base].Stats);
+    }
   }
-  if (NoWarp) {
-    ConcreteSimulator Sim(P, H, Opts);
-    SimStats S = Sim.run();
-    printStats("non-warping (Algorithm 1)", S);
-  } else {
-    WarpingSimulator Sim(P, H, Opts);
-    SimStats S = Sim.run();
-    printStats("warping (Algorithm 2)", S);
-  }
-  return 0;
+
+  if (Work.size() > 1)
+    std::printf("\nbatch    %s\n", Rep.summary().c_str());
+  if (Compare && Rep.Threads > 1)
+    std::printf("note     speedups measured with %u concurrent jobs include "
+                "contention; use --jobs 1 for clean timings\n",
+                Rep.Threads);
+  return AllMatch ? 0 : 1;
 }
