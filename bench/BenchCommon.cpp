@@ -19,18 +19,10 @@ ProblemSize wcs::bench::sizeFromEnv(ProblemSize Default) {
   const char *E = std::getenv("WCS_SIZE");
   if (!E)
     return Default;
-  if (!std::strcmp(E, "mini"))
-    return ProblemSize::Mini;
-  if (!std::strcmp(E, "small"))
-    return ProblemSize::Small;
-  if (!std::strcmp(E, "medium"))
-    return ProblemSize::Medium;
-  if (!std::strcmp(E, "large"))
-    return ProblemSize::Large;
-  if (!std::strcmp(E, "xlarge"))
-    return ProblemSize::ExtraLarge;
-  std::fprintf(stderr, "warning: unknown WCS_SIZE '%s' ignored\n", E);
-  return Default;
+  ProblemSize S = Default;
+  if (!parseProblemSize(E, S))
+    std::fprintf(stderr, "warning: unknown WCS_SIZE '%s' ignored\n", E);
+  return S;
 }
 
 HierarchyConfig wcs::bench::scaledTestSystem() {
@@ -74,7 +66,12 @@ unsigned wcs::bench::jobsFromEnv(unsigned Default) {
 
 BatchReport wcs::bench::runBatch(const std::vector<BatchJob> &Jobs,
                                  unsigned DefaultThreads) {
-  BatchRunner Runner(jobsFromEnv(DefaultThreads));
+  return runBatchOn(Jobs, jobsFromEnv(DefaultThreads));
+}
+
+BatchReport wcs::bench::runBatchOn(const std::vector<BatchJob> &Jobs,
+                                   unsigned Threads) {
+  BatchRunner Runner(Threads);
   BatchReport Rep = Runner.run(Jobs);
   for (const BatchResult &R : Rep.Results)
     if (!R.Ok) {
@@ -100,11 +97,3 @@ void wcs::bench::requireEqualMisses(const char *Kernel, const SimStats &A,
   std::exit(1);
 }
 
-void GeoMean::add(double V) {
-  if (V <= 0)
-    return;
-  LogSum += std::log(V);
-  ++N;
-}
-
-double GeoMean::value() const { return N == 0 ? 0.0 : std::exp(LogSum / N); }

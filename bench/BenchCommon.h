@@ -20,6 +20,7 @@
 #include "wcs/driver/BatchRunner.h"
 #include "wcs/polybench/Polybench.h"
 #include "wcs/sim/SimStats.h"
+#include "wcs/support/Stats.h"
 
 #include <string>
 #include <vector>
@@ -59,22 +60,20 @@ unsigned jobsFromEnv(unsigned Default);
 BatchReport runBatch(const std::vector<BatchJob> &Jobs,
                      unsigned DefaultThreads = 1);
 
+/// Like runBatch but with an exact thread count: $WCS_JOBS is NOT
+/// consulted. For drivers whose thread count comes from an explicit
+/// command-line flag that must not be overridden by ambient environment
+/// (stray parallelism contaminates the timing columns).
+BatchReport runBatchOn(const std::vector<BatchJob> &Jobs, unsigned Threads);
+
 /// Aborts the benchmark if two simulators disagree (soundness check that
 /// runs inside every figure harness).
 void requireEqualMisses(const char *Kernel, const SimStats &A,
                         const SimStats &B);
 
-/// Geometric mean helper.
-class GeoMean {
-public:
-  void add(double V);
-  double value() const;
-  unsigned count() const { return N; }
-
-private:
-  double LogSum = 0.0;
-  unsigned N = 0;
-};
+/// The geometric-mean helper now lives in wcs/support/Stats.h (shared
+/// with wcs-report); re-exported here for the figure harnesses.
+using wcs::GeoMean;
 
 } // namespace bench
 } // namespace wcs

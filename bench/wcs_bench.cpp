@@ -1,0 +1,236 @@
+//===- bench/wcs_bench.cpp - Machine-readable benchmark driver ------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// Runs the kernels behind the paper's headline performance figures and
+// writes every result -- wall time plus the full warp counters -- as one
+// wcs-results JSON file (default BENCH_results.json). The file is the
+// input to wcs-report, which diffs two runs and gates CI on counter
+// drift and time regressions. Three suites:
+//
+//   fig06  warping vs non-warping per replacement policy (scaled L1)
+//   fig07  warping vs non-warping at the chosen size and the next larger
+//   fig12  non-warping tree simulation vs trace-driven simulation (LRU)
+//
+// Every warping/concrete and concrete/trace pair is verified to produce
+// identical miss counters before the file is written, so a results file
+// never contains an unsound speedup.
+//
+//   wcs-bench --size small --out BENCH_results.json
+//   wcs-bench --suite fig06 --suite fig12 --jobs 4
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "wcs/driver/Results.h"
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace wcs;
+using namespace wcs::bench;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: wcs-bench [options]\n"
+      "  --size S         mini|small|medium|large|xlarge (default small)\n"
+      "  --out FILE       results file to write (default "
+      "BENCH_results.json)\n"
+      "  --suite NAME     fig06|fig07|fig12; repeatable (default: all)\n"
+      "  --jobs N         worker threads (0 = all cores; defaults to\n"
+      "                   $WCS_JOBS, else 1 for clean timings; an\n"
+      "                   explicit --jobs beats the environment)\n");
+}
+
+/// Builds each (kernel, size) program once; std::deque keeps addresses
+/// stable while jobs accumulate pointers into it.
+class ProgramPool {
+public:
+  const ScopProgram *get(const KernelInfo &K, ProblemSize S) {
+    auto Key = std::make_pair(std::string(K.Name), S);
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return &Programs[It->second];
+    Programs.push_back(mustBuild(K, S));
+    Index.emplace(std::move(Key), Programs.size() - 1);
+    return &Programs.back();
+  }
+
+private:
+  std::deque<ScopProgram> Programs;
+  std::map<std::pair<std::string, ProblemSize>, size_t> Index;
+};
+
+/// A pair of job indices whose counters must agree (warping vs concrete,
+/// or tree vs trace), plus the kernel name for diagnostics and the suite
+/// it belongs to (for the per-suite summary).
+struct VerifyPair {
+  size_t Slow, Fast;
+  const char *Kernel;
+  unsigned Suite;
+};
+
+const char *const SuiteNames[] = {"fig06", "fig07", "fig12"};
+constexpr unsigned NumSuites = 3;
+
+ProblemSize nextLarger(ProblemSize S) {
+  unsigned I = static_cast<unsigned>(S);
+  return I + 1 < NumProblemSizes ? static_cast<ProblemSize>(I + 1) : S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ProblemSize Size = ProblemSize::Small;
+  std::string OutPath = "BENCH_results.json";
+  std::vector<std::string> Suites;
+  // $WCS_JOBS seeds the default; an explicit --jobs takes precedence.
+  unsigned Jobs = jobsFromEnv(1);
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", A.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--size") {
+      if (!parseProblemSize(Next(), Size)) {
+        std::fprintf(stderr, "error: unknown size\n");
+        return 2;
+      }
+    } else if (A == "--out") {
+      OutPath = Next();
+    } else if (A == "--suite") {
+      std::string S = Next();
+      if (S != "fig06" && S != "fig07" && S != "fig12") {
+        std::fprintf(stderr, "error: unknown suite '%s'\n", S.c_str());
+        return 2;
+      }
+      Suites.push_back(std::move(S));
+    } else if (A == "--jobs") {
+      const char *N = Next();
+      if (!parseJobCount(N, Jobs)) {
+        std::fprintf(stderr,
+                     "error: --jobs expects a non-negative number, got "
+                     "'%s'\n",
+                     N);
+        return 2;
+      }
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (Suites.empty())
+    Suites = {"fig06", "fig07", "fig12"};
+  auto HasSuite = [&](const char *Name) {
+    for (const std::string &S : Suites)
+      if (S == Name)
+        return true;
+    return false;
+  };
+
+  ProgramPool Pool;
+  std::vector<BatchJob> Work;
+  std::vector<VerifyPair> Pairs;
+  const std::vector<KernelInfo> &Kernels = polybenchKernels();
+
+  auto pushPair = [&](unsigned Suite, const KernelInfo &K, ProblemSize S,
+                      const HierarchyConfig &H, SimBackend SlowBackend,
+                      SimBackend FastBackend, std::string TagPrefix) {
+    BatchJob J;
+    J.Program = Pool.get(K, S);
+    J.Cache = H;
+    J.Backend = SlowBackend;
+    J.Tag = TagPrefix + "/" + backendName(SlowBackend);
+    Work.push_back(J);
+    J.Backend = FastBackend;
+    J.Tag = TagPrefix + "/" + backendName(FastBackend);
+    Work.push_back(std::move(J));
+    Pairs.push_back(
+        VerifyPair{Work.size() - 2, Work.size() - 1, K.Name, Suite});
+  };
+
+  if (HasSuite("fig06")) {
+    const PolicyKind Policies[] = {PolicyKind::Lru, PolicyKind::Fifo,
+                                   PolicyKind::Plru,
+                                   PolicyKind::QuadAgeLru};
+    for (const KernelInfo &K : Kernels)
+      for (PolicyKind P : Policies) {
+        CacheConfig C = CacheConfig::scaledL1();
+        C.Policy = P;
+        pushPair(0, K, Size, HierarchyConfig::singleLevel(C),
+                 SimBackend::Concrete, SimBackend::Warping,
+                 std::string("fig06/") + K.Name + "/" + policyName(P));
+      }
+  }
+  if (HasSuite("fig07")) {
+    HierarchyConfig H = HierarchyConfig::singleLevel(CacheConfig::scaledL1());
+    ProblemSize Sizes[2] = {Size, nextLarger(Size)};
+    unsigned NumSizes = Sizes[0] == Sizes[1] ? 1 : 2;
+    for (const KernelInfo &K : Kernels)
+      for (unsigned SI = 0; SI < NumSizes; ++SI)
+        pushPair(1, K, Sizes[SI], H, SimBackend::Concrete,
+                 SimBackend::Warping,
+                 std::string("fig07/") + K.Name + "/" +
+                     problemSizeName(Sizes[SI]));
+  }
+  if (HasSuite("fig12")) {
+    CacheConfig C = CacheConfig::scaledL1();
+    C.Policy = PolicyKind::Lru; // Trace simulators model LRU, not PLRU.
+    HierarchyConfig H = HierarchyConfig::singleLevel(C);
+    for (const KernelInfo &K : Kernels)
+      pushPair(2, K, Size, H, SimBackend::Trace, SimBackend::Concrete,
+               std::string("fig12/") + K.Name);
+  }
+
+  std::fprintf(stderr, "wcs-bench: %zu jobs (%zu verified pairs), size %s\n",
+               Work.size(), Pairs.size(), problemSizeName(Size));
+  BatchReport Rep = runBatchOn(Work, Jobs);
+
+  // Soundness first: a results file must never record a speedup obtained
+  // from diverging counters.
+  for (const VerifyPair &P : Pairs)
+    requireEqualMisses(P.Kernel, Rep.Results[P.Slow].Stats,
+                       Rep.Results[P.Fast].Stats);
+
+  // Per-suite geomean of slow/fast time ratios (the headline numbers).
+  GeoMean BySuite[NumSuites];
+  for (const VerifyPair &P : Pairs)
+    if (Rep.Results[P.Fast].Stats.Seconds > 0)
+      BySuite[P.Suite].add(Rep.Results[P.Slow].Stats.Seconds /
+                           Rep.Results[P.Fast].Stats.Seconds);
+  for (unsigned S = 0; S < NumSuites; ++S)
+    if (BySuite[S].count())
+      std::printf("%s: %u pairs, geomean speedup %.2fx\n", SuiteNames[S],
+                  BySuite[S].count(), BySuite[S].value());
+
+  ResultsDoc Doc;
+  Doc.Tool = "wcs-bench";
+  Doc.SizeName = problemSizeName(Size);
+  Doc.Threads = Rep.Threads;
+  Doc.Entries = makeResultEntries(Work, Rep);
+  std::string Err;
+  if (!writeResultsFile(OutPath, Doc, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu entries to %s\n", Doc.Entries.size(),
+              OutPath.c_str());
+  return 0;
+}

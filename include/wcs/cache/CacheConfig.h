@@ -40,6 +40,11 @@ enum class WriteAllocate {
 
 const char *policyName(PolicyKind K);
 
+/// Inverse of policyName, case-insensitive ("plru", "PLRU", ...). Also
+/// accepts the wcs-sim spelling "qlru" for Quad-age LRU. Returns false
+/// on an unknown name, leaving \p Out untouched.
+bool parsePolicyName(const std::string &Name, PolicyKind &Out);
+
 /// Geometry and policy of one cache level.
 struct CacheConfig {
   uint64_t SizeBytes = 32 * 1024;
@@ -85,6 +90,10 @@ enum class InclusionPolicy {
 };
 
 const char *inclusionName(InclusionPolicy P);
+
+/// Inverse of inclusionName, case-insensitive. Returns false on an
+/// unknown name, leaving \p Out untouched.
+bool parseInclusionName(const std::string &Name, InclusionPolicy &Out);
 
 /// A one- or two-level cache hierarchy. Level 0 is the L1.
 struct HierarchyConfig {

@@ -41,6 +41,10 @@ enum class SimBackend {
 
 const char *backendName(SimBackend B);
 
+/// Inverse of backendName. Also accepts the wcs-sim spelling "warp".
+/// Returns false on an unknown name, leaving \p Out untouched.
+bool parseBackendName(const std::string &Name, SimBackend &Out);
+
 /// Strictly parses a worker-thread count (digits only, fits unsigned):
 /// the one parser behind --jobs and $WCS_JOBS, so tool and bench
 /// harnesses accept exactly the same inputs. Returns false on malformed

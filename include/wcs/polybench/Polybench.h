@@ -38,6 +38,11 @@ inline constexpr unsigned NumProblemSizes = 5;
 
 const char *problemSizeName(ProblemSize S);
 
+/// Inverse of problemSizeName, case-insensitive; also accepts the
+/// command-line spelling "xlarge" for ExtraLarge. Returns false on an
+/// unknown name, leaving \p Out untouched.
+bool parseProblemSize(const std::string &Name, ProblemSize &Out);
+
 /// Static description of one kernel.
 struct KernelInfo {
   const char *Name;

@@ -1,0 +1,46 @@
+//===- wcs/support/Stats.h - Small statistics helpers -----------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The geometric mean — the project's headline statistic for speedup
+/// ratios (paper Figs. 6-12). One definition shared by the figure
+/// harnesses, wcs-bench and wcs-report, so the reported number can never
+/// drift between producers and the regression gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SUPPORT_STATS_H
+#define WCS_SUPPORT_STATS_H
+
+#include <cmath>
+
+namespace wcs {
+
+/// Accumulates log-space and reports exp(mean(log)). Non-positive
+/// samples are skipped (a ratio of 0 would collapse the product);
+/// value() is 0.0 when no sample was accepted — callers wanting a
+/// neutral 1.0 for "nothing compared" must check count().
+class GeoMean {
+public:
+  void add(double V) {
+    if (V <= 0)
+      return;
+    LogSum += std::log(V);
+    ++N;
+  }
+
+  double value() const { return N == 0 ? 0.0 : std::exp(LogSum / N); }
+  unsigned count() const { return N; }
+
+private:
+  double LogSum = 0.0;
+  unsigned N = 0;
+};
+
+} // namespace wcs
+
+#endif // WCS_SUPPORT_STATS_H

@@ -1,0 +1,85 @@
+//===- wcs/support/StringUtil.h - Small string helpers ----------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the case-insensitive enum-name parsers
+/// (policy/inclusion/backend/problem-size spellings on the command line
+/// and in results files).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SUPPORT_STRINGUTIL_H
+#define WCS_SUPPORT_STRINGUTIL_H
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wcs {
+
+/// ASCII-lowercases a copy of \p S (locale-independent).
+inline std::string toLowerAscii(std::string S) {
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return S;
+}
+
+/// Strictly parses an unsigned decimal: digits only (no sign, spaces or
+/// suffixes), the whole token, value at most \p Max. Returns false on
+/// malformed or overflowing input, leaving \p Out untouched — never
+/// throws, unlike std::stoull. The one parser behind every numeric
+/// command-line field.
+inline bool parseUInt64(std::string_view Text, uint64_t &Out,
+                        uint64_t Max = UINT64_MAX) {
+  if (Text.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    // V*10 + Digit <= Max, tested without overflow or underflow (the
+    // naive (Max - Digit) form wraps when Digit > Max).
+    if (V > Max / 10 || (V == Max / 10 && Digit > Max % 10))
+      return false;
+    V = V * 10 + Digit;
+  }
+  Out = V;
+  return true;
+}
+
+/// Signed companion of parseUInt64: an optional leading '-' followed by
+/// digits, anywhere in [INT64_MIN, INT64_MAX]. Same strictness, never
+/// throws.
+inline bool parseInt64(std::string_view Text, int64_t &Out) {
+  bool Negative = !Text.empty() && Text.front() == '-';
+  uint64_t Mag;
+  if (!parseUInt64(Negative ? Text.substr(1) : Text, Mag,
+                   Negative ? static_cast<uint64_t>(1) << 63
+                            : static_cast<uint64_t>(INT64_MAX)))
+    return false;
+  Out = Negative ? -static_cast<int64_t>(Mag - 1) - 1
+                 : static_cast<int64_t>(Mag);
+  return true;
+}
+
+/// Parses a command-line parameter binding "NAME=VALUE" with a strict
+/// integer value (the --param flag of wcs-sim and wcs-trace). Returns
+/// false when '=' is missing or the value fails parseInt64.
+inline bool parseParamBinding(std::string_view Arg, std::string &Name,
+                              int64_t &Value) {
+  size_t Eq = Arg.find('=');
+  if (Eq == std::string_view::npos || !parseInt64(Arg.substr(Eq + 1), Value))
+    return false;
+  Name.assign(Arg.substr(0, Eq));
+  return true;
+}
+
+} // namespace wcs
+
+#endif // WCS_SUPPORT_STRINGUTIL_H

@@ -8,6 +8,7 @@
 #include "wcs/cache/CacheConfig.h"
 
 #include "wcs/support/MathUtil.h"
+#include "wcs/support/StringUtil.h"
 
 #include <sstream>
 
@@ -25,6 +26,34 @@ const char *wcs::policyName(PolicyKind K) {
     return "QLRU";
   }
   return "?";
+}
+
+bool wcs::parsePolicyName(const std::string &Name, PolicyKind &Out) {
+  std::string L = toLowerAscii(Name);
+  if (L == "lru")
+    Out = PolicyKind::Lru;
+  else if (L == "fifo")
+    Out = PolicyKind::Fifo;
+  else if (L == "plru")
+    Out = PolicyKind::Plru;
+  else if (L == "qlru" || L == "quadagelru")
+    Out = PolicyKind::QuadAgeLru;
+  else
+    return false;
+  return true;
+}
+
+bool wcs::parseInclusionName(const std::string &Name, InclusionPolicy &Out) {
+  std::string L = toLowerAscii(Name);
+  if (L == "nine")
+    Out = InclusionPolicy::NonInclusiveNonExclusive;
+  else if (L == "inclusive")
+    Out = InclusionPolicy::Inclusive;
+  else if (L == "exclusive")
+    Out = InclusionPolicy::Exclusive;
+  else
+    return false;
+  return true;
 }
 
 std::string CacheConfig::validate() const {

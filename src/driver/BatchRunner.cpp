@@ -9,6 +9,7 @@
 
 #include "wcs/sim/ConcreteSimulator.h"
 #include "wcs/sim/WarpingSimulator.h"
+#include "wcs/support/StringUtil.h"
 #include "wcs/trace/TraceSimulator.h"
 
 #include <atomic>
@@ -29,6 +30,19 @@ const char *wcs::backendName(SimBackend B) {
     return "trace";
   }
   return "?";
+}
+
+bool wcs::parseBackendName(const std::string &Name, SimBackend &Out) {
+  std::string L = toLowerAscii(Name);
+  if (L == "warping" || L == "warp")
+    Out = SimBackend::Warping;
+  else if (L == "concrete")
+    Out = SimBackend::Concrete;
+  else if (L == "trace")
+    Out = SimBackend::Trace;
+  else
+    return false;
+  return true;
 }
 
 bool BatchReport::allOk() const {
@@ -131,16 +145,9 @@ BatchResult BatchRunner::runJob(const BatchJob &Job, size_t JobIndex) {
 }
 
 bool wcs::parseJobCount(const char *Text, unsigned &Out) {
-  if (!Text || *Text == '\0')
+  uint64_t V;
+  if (!Text || !parseUInt64(Text, V, 0xFFFFFFFFu))
     return false;
-  uint64_t V = 0;
-  for (const char *P = Text; *P; ++P) {
-    if (*P < '0' || *P > '9')
-      return false; // Digits only: no signs, spaces or suffixes.
-    V = V * 10 + static_cast<uint64_t>(*P - '0');
-    if (V > 0xFFFFFFFFu)
-      return false;
-  }
   Out = static_cast<unsigned>(V);
   return true;
 }

@@ -1,0 +1,434 @@
+//===- src/driver/Results.cpp - Structured results serialization ----------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/driver/Results.h"
+
+#include <sstream>
+
+using namespace wcs;
+using json::Value;
+
+//===----------------------------------------------------------------------===//
+// fromJson plumbing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool failMsg(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// Fetches object member \p Key of kind checked by \p Pred into \p Out
+/// via \p Get. Central place for the "missing or mistyped member"
+/// diagnostics every fromJson needs.
+bool needMember(const Value &V, const char *Key, const Value *&Out,
+                std::string *Err) {
+  if (!V.isObject())
+    return failMsg(Err, "expected an object");
+  Out = V.find(Key);
+  if (!Out)
+    return failMsg(Err, std::string("missing member '") + Key + "'");
+  return true;
+}
+
+// Counters and config fields are written as exact JSON integers, so the
+// readers demand the Int kind outright: a fractional, out-of-range or
+// (for unsigned fields) negative number is a malformed file and fails
+// loudly instead of being truncated or wrapped into a plausible value.
+
+bool needUInt(const Value &V, const char *Key, uint64_t &Out,
+              std::string *Err) {
+  const Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (M->kind() != Value::Kind::Int || M->asInt() < 0)
+    return failMsg(Err, std::string("member '") + Key +
+                            "' must be a non-negative integer");
+  Out = M->asUInt();
+  return true;
+}
+
+bool needInt(const Value &V, const char *Key, int64_t &Out, std::string *Err) {
+  const Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (M->kind() != Value::Kind::Int)
+    return failMsg(Err, std::string("member '") + Key + "' must be an integer");
+  Out = M->asInt();
+  return true;
+}
+
+bool needU32(const Value &V, const char *Key, unsigned &Out,
+             std::string *Err) {
+  uint64_t U;
+  if (!needUInt(V, Key, U, Err))
+    return false;
+  if (U > 0xffffffffull)
+    return failMsg(Err, std::string("member '") + Key +
+                            "' does not fit in 32 bits");
+  Out = static_cast<unsigned>(U);
+  return true;
+}
+
+bool needDouble(const Value &V, const char *Key, double &Out,
+                std::string *Err) {
+  const Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (!M->isNumber())
+    return failMsg(Err, std::string("member '") + Key + "' must be a number");
+  Out = M->asDouble();
+  return true;
+}
+
+bool needBool(const Value &V, const char *Key, bool &Out, std::string *Err) {
+  const Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (!M->isBool())
+    return failMsg(Err, std::string("member '") + Key + "' must be a bool");
+  Out = M->asBool();
+  return true;
+}
+
+bool needString(const Value &V, const char *Key, std::string &Out,
+                std::string *Err) {
+  const Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (!M->isString())
+    return failMsg(Err, std::string("member '") + Key + "' must be a string");
+  Out = M->asString();
+  return true;
+}
+
+bool needArray(const Value &V, const char *Key, const Value *&Out,
+               std::string *Err) {
+  if (!needMember(V, Key, Out, Err))
+    return false;
+  if (!Out->isArray())
+    return failMsg(Err, std::string("member '") + Key + "' must be an array");
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Counters
+//===----------------------------------------------------------------------===//
+
+Value wcs::toJson(const LevelStats &S) {
+  Value V = Value::object();
+  V.set("accesses", S.Accesses);
+  V.set("misses", S.Misses);
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, LevelStats &Out, std::string *Err) {
+  return needUInt(V, "accesses", Out.Accesses, Err) &&
+         needUInt(V, "misses", Out.Misses, Err);
+}
+
+Value wcs::toJson(const SimStats &S) {
+  Value V = Value::object();
+  Value Levels = Value::array();
+  for (unsigned L = 0; L < S.NumLevels; ++L)
+    Levels.push(toJson(S.Level[L]));
+  V.set("levels", std::move(Levels));
+  V.set("simulated_accesses", S.SimulatedAccesses);
+  V.set("warped_accesses", S.WarpedAccesses);
+  V.set("warps", S.Warps);
+  V.set("failed_warp_checks", S.FailedWarpChecks);
+  V.set("seconds", S.Seconds);
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, SimStats &Out, std::string *Err) {
+  const Value *Levels;
+  if (!needArray(V, "levels", Levels, Err))
+    return false;
+  constexpr size_t MaxLevels = sizeof(Out.Level) / sizeof(Out.Level[0]);
+  if (Levels->size() < 1 || Levels->size() > MaxLevels)
+    return failMsg(Err, "'levels' must hold 1 or 2 entries");
+  Out = SimStats();
+  Out.NumLevels = static_cast<unsigned>(Levels->size());
+  for (size_t L = 0; L < Levels->size(); ++L)
+    if (!fromJson(Levels->at(L), Out.Level[L], Err))
+      return false;
+  return needUInt(V, "simulated_accesses", Out.SimulatedAccesses, Err) &&
+         needUInt(V, "warped_accesses", Out.WarpedAccesses, Err) &&
+         needUInt(V, "warps", Out.Warps, Err) &&
+         needUInt(V, "failed_warp_checks", Out.FailedWarpChecks, Err) &&
+         needDouble(V, "seconds", Out.Seconds, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Configurations
+//===----------------------------------------------------------------------===//
+
+Value wcs::toJson(const CacheConfig &C) {
+  Value V = Value::object();
+  V.set("size_bytes", C.SizeBytes);
+  V.set("assoc", C.Assoc);
+  V.set("block_bytes", C.BlockBytes);
+  V.set("policy", policyName(C.Policy));
+  V.set("write_allocate", C.WriteAlloc == WriteAllocate::Yes);
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, CacheConfig &Out, std::string *Err) {
+  std::string Policy;
+  bool WriteAlloc;
+  if (!needUInt(V, "size_bytes", Out.SizeBytes, Err) ||
+      !needU32(V, "assoc", Out.Assoc, Err) ||
+      !needU32(V, "block_bytes", Out.BlockBytes, Err) ||
+      !needString(V, "policy", Policy, Err) ||
+      !needBool(V, "write_allocate", WriteAlloc, Err))
+    return false;
+  if (!parsePolicyName(Policy, Out.Policy))
+    return failMsg(Err, "unknown replacement policy '" + Policy + "'");
+  Out.WriteAlloc = WriteAlloc ? WriteAllocate::Yes : WriteAllocate::No;
+  return true;
+}
+
+Value wcs::toJson(const HierarchyConfig &H) {
+  Value V = Value::object();
+  Value Levels = Value::array();
+  for (const CacheConfig &C : H.Levels)
+    Levels.push(toJson(C));
+  V.set("levels", std::move(Levels));
+  V.set("inclusion", inclusionName(H.Inclusion));
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, HierarchyConfig &Out, std::string *Err) {
+  const Value *Levels;
+  std::string Inclusion;
+  if (!needArray(V, "levels", Levels, Err) ||
+      !needString(V, "inclusion", Inclusion, Err))
+    return false;
+  Out.Levels.clear();
+  for (size_t L = 0; L < Levels->size(); ++L) {
+    CacheConfig C;
+    if (!fromJson(Levels->at(L), C, Err))
+      return false;
+    Out.Levels.push_back(C);
+  }
+  if (!parseInclusionName(Inclusion, Out.Inclusion))
+    return failMsg(Err, "unknown inclusion policy '" + Inclusion + "'");
+  return true;
+}
+
+Value wcs::toJson(const WarpConfig &W) {
+  Value V = Value::object();
+  V.set("enable", W.Enable);
+  V.set("max_probe_iters", W.MaxProbeIters);
+  V.set("snapshot_ring_size", W.SnapshotRingSize);
+  V.set("max_snapshots_per_bucket", W.MaxSnapshotsPerBucket);
+  V.set("min_snapshot_spacing", W.MinSnapshotSpacing);
+  V.set("max_delta_for_coupled_domains", W.MaxDeltaForCoupledDomains);
+  V.set("eager_snapshot_trip_limit", W.EagerSnapshotTripLimit);
+  V.set("max_delta", W.MaxDelta);
+  V.set("disable_after_failed_activations", W.DisableAfterFailedActivations);
+  V.set("min_probes_for_learning", W.MinProbesForLearning);
+  V.set("enable_profit_guard", W.EnableProfitGuard);
+  V.set("profit_guard_activations", W.ProfitGuardActivations);
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, WarpConfig &Out, std::string *Err) {
+  return needBool(V, "enable", Out.Enable, Err) &&
+         needU32(V, "max_probe_iters", Out.MaxProbeIters, Err) &&
+         needU32(V, "snapshot_ring_size", Out.SnapshotRingSize, Err) &&
+         needU32(V, "max_snapshots_per_bucket", Out.MaxSnapshotsPerBucket,
+                 Err) &&
+         needInt(V, "min_snapshot_spacing", Out.MinSnapshotSpacing, Err) &&
+         needInt(V, "max_delta_for_coupled_domains",
+                 Out.MaxDeltaForCoupledDomains, Err) &&
+         needInt(V, "eager_snapshot_trip_limit", Out.EagerSnapshotTripLimit,
+                 Err) &&
+         needInt(V, "max_delta", Out.MaxDelta, Err) &&
+         needU32(V, "disable_after_failed_activations",
+                 Out.DisableAfterFailedActivations, Err) &&
+         needU32(V, "min_probes_for_learning", Out.MinProbesForLearning,
+                 Err) &&
+         needBool(V, "enable_profit_guard", Out.EnableProfitGuard, Err) &&
+         needU32(V, "profit_guard_activations", Out.ProfitGuardActivations,
+                 Err);
+}
+
+Value wcs::toJson(const SimOptions &O) {
+  Value V = Value::object();
+  V.set("include_scalars", O.IncludeScalars);
+  V.set("warp", toJson(O.Warp));
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, SimOptions &Out, std::string *Err) {
+  const Value *Warp;
+  return needBool(V, "include_scalars", Out.IncludeScalars, Err) &&
+         needMember(V, "warp", Warp, Err) && fromJson(*Warp, Out.Warp, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch results and the results file
+//===----------------------------------------------------------------------===//
+
+Value wcs::toJson(const BatchResult &R) {
+  Value V = Value::object();
+  V.set("job_index", static_cast<uint64_t>(R.JobIndex));
+  V.set("tag", R.Tag);
+  V.set("ok", R.Ok);
+  V.set("error", R.Error);
+  V.set("stats", toJson(R.Stats));
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, BatchResult &Out, std::string *Err) {
+  uint64_t Index;
+  const Value *Stats;
+  if (!needUInt(V, "job_index", Index, Err) ||
+      !needString(V, "tag", Out.Tag, Err) ||
+      !needBool(V, "ok", Out.Ok, Err) ||
+      !needString(V, "error", Out.Error, Err) ||
+      !needMember(V, "stats", Stats, Err) ||
+      !fromJson(*Stats, Out.Stats, Err))
+    return false;
+  Out.JobIndex = static_cast<size_t>(Index);
+  return true;
+}
+
+Value wcs::toJson(const ResultEntry &E) {
+  Value V = Value::object();
+  V.set("tag", E.Tag);
+  V.set("backend", backendName(E.Backend));
+  V.set("cache", toJson(E.Cache));
+  V.set("options", toJson(E.Options));
+  V.set("ok", E.Ok);
+  V.set("error", E.Error);
+  V.set("stats", toJson(E.Stats));
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, ResultEntry &Out, std::string *Err) {
+  std::string Backend;
+  const Value *Cache, *Options, *Stats;
+  if (!needString(V, "tag", Out.Tag, Err) ||
+      !needString(V, "backend", Backend, Err) ||
+      !needMember(V, "cache", Cache, Err) ||
+      !fromJson(*Cache, Out.Cache, Err) ||
+      !needMember(V, "options", Options, Err) ||
+      !fromJson(*Options, Out.Options, Err) ||
+      !needBool(V, "ok", Out.Ok, Err) ||
+      !needString(V, "error", Out.Error, Err) ||
+      !needMember(V, "stats", Stats, Err) ||
+      !fromJson(*Stats, Out.Stats, Err))
+    return false;
+  if (!parseBackendName(Backend, Out.Backend))
+    return failMsg(Err, "unknown backend '" + Backend + "'");
+  return true;
+}
+
+const ResultEntry *ResultsDoc::find(const std::string &Tag) const {
+  for (const ResultEntry &E : Entries)
+    if (E.Tag == Tag)
+      return &E;
+  return nullptr;
+}
+
+Value wcs::toJson(const ResultsDoc &D) {
+  Value V = Value::object();
+  V.set("schema", ResultsSchemaName);
+  V.set("schema_version", ResultsSchemaVersion);
+  V.set("tool", D.Tool);
+  V.set("size", D.SizeName);
+  V.set("threads", D.Threads);
+  Value Entries = Value::array();
+  for (const ResultEntry &E : D.Entries)
+    Entries.push(toJson(E));
+  V.set("entries", std::move(Entries));
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, ResultsDoc &Out, std::string *Err) {
+  std::string Schema;
+  int64_t Version;
+  if (!needString(V, "schema", Schema, Err) ||
+      !needInt(V, "schema_version", Version, Err))
+    return false;
+  if (Schema != ResultsSchemaName)
+    return failMsg(Err, "not a " + std::string(ResultsSchemaName) +
+                            " file (schema '" + Schema + "')");
+  if (Version != ResultsSchemaVersion) {
+    std::ostringstream OS;
+    OS << "unsupported schema version " << Version << " (this reader speaks "
+       << ResultsSchemaVersion << ")";
+    return failMsg(Err, OS.str());
+  }
+  const Value *Entries;
+  if (!needString(V, "tool", Out.Tool, Err) ||
+      !needString(V, "size", Out.SizeName, Err) ||
+      !needU32(V, "threads", Out.Threads, Err) ||
+      !needArray(V, "entries", Entries, Err))
+    return false;
+  Out.Entries.clear();
+  Out.Entries.reserve(Entries->size());
+  for (size_t N = 0; N < Entries->size(); ++N) {
+    ResultEntry E;
+    if (!fromJson(Entries->at(N), E, Err)) {
+      if (Err) {
+        std::ostringstream OS;
+        OS << "entry " << N << ": " << *Err;
+        *Err = OS.str();
+      }
+      return false;
+    }
+    Out.Entries.push_back(std::move(E));
+  }
+  return true;
+}
+
+bool wcs::writeResultsFile(const std::string &Path, const ResultsDoc &D,
+                           std::string *Err) {
+  return json::writeFile(Path, toJson(D), Err);
+}
+
+bool wcs::readResultsFile(const std::string &Path, ResultsDoc &Out,
+                          std::string *Err) {
+  Value V;
+  if (!json::readFile(Path, V, Err))
+    return false;
+  std::string ParseErr;
+  if (!fromJson(V, Out, &ParseErr)) {
+    if (Err)
+      *Err = Path + ": " + ParseErr;
+    return false;
+  }
+  return true;
+}
+
+std::vector<ResultEntry>
+wcs::makeResultEntries(const std::vector<BatchJob> &Jobs,
+                       const BatchReport &Report) {
+  std::vector<ResultEntry> Entries;
+  size_t N = std::min(Jobs.size(), Report.Results.size());
+  Entries.reserve(N);
+  for (size_t J = 0; J < N; ++J) {
+    ResultEntry E;
+    E.Tag = Report.Results[J].Tag;
+    E.Backend = Jobs[J].Backend;
+    E.Cache = Jobs[J].Cache;
+    E.Options = Jobs[J].Options;
+    E.Ok = Report.Results[J].Ok;
+    E.Error = Report.Results[J].Error;
+    E.Stats = Report.Results[J].Stats;
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}

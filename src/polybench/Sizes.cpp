@@ -13,6 +13,8 @@
 
 #include "wcs/polybench/Polybench.h"
 
+#include "wcs/support/StringUtil.h"
+
 #include <cassert>
 
 using namespace wcs;
@@ -31,6 +33,22 @@ const char *wcs::problemSizeName(ProblemSize S) {
     return "EXTRALARGE";
   }
   return "?";
+}
+
+bool wcs::parseProblemSize(const std::string &Name, ProblemSize &Out) {
+  std::string L = toLowerAscii(Name);
+  if (L == "xlarge") {
+    Out = ProblemSize::ExtraLarge;
+    return true;
+  }
+  for (unsigned I = 0; I < NumProblemSizes; ++I) {
+    ProblemSize S = static_cast<ProblemSize>(I);
+    if (toLowerAscii(problemSizeName(S)) == L) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::map<std::string, int64_t> wcs::paramBinding(const KernelInfo &K,

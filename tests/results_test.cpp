@@ -1,0 +1,325 @@
+//===- tests/results_test.cpp - Results serialization round-trips ---------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// serialize -> parse -> compare coverage for the wcs-results pipeline:
+// SimStats, cache configurations, batch results and whole results
+// documents (including one produced by a real BatchRunner run), plus
+// schema-version rejection and tag escaping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/driver/Results.h"
+#include "wcs/polybench/Polybench.h"
+
+#include "gtest/gtest.h"
+
+using namespace wcs;
+using json::Value;
+
+namespace {
+
+/// Dump + reparse, asserting both directions succeed.
+template <typename T> T reserialized(const T &In) {
+  std::string Text = toJson(In).dump();
+  Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text, V, &Err)) << Err;
+  T Out;
+  EXPECT_TRUE(fromJson(V, Out, &Err)) << Err << "\n" << Text;
+  return Out;
+}
+
+void expectStatsEq(const SimStats &A, const SimStats &B) {
+  ASSERT_EQ(A.NumLevels, B.NumLevels);
+  for (unsigned L = 0; L < A.NumLevels; ++L) {
+    EXPECT_EQ(A.Level[L].Accesses, B.Level[L].Accesses);
+    EXPECT_EQ(A.Level[L].Misses, B.Level[L].Misses);
+  }
+  EXPECT_EQ(A.SimulatedAccesses, B.SimulatedAccesses);
+  EXPECT_EQ(A.WarpedAccesses, B.WarpedAccesses);
+  EXPECT_EQ(A.Warps, B.Warps);
+  EXPECT_EQ(A.FailedWarpChecks, B.FailedWarpChecks);
+  EXPECT_DOUBLE_EQ(A.Seconds, B.Seconds);
+}
+
+void expectCacheEq(const CacheConfig &A, const CacheConfig &B) {
+  EXPECT_EQ(A.SizeBytes, B.SizeBytes);
+  EXPECT_EQ(A.Assoc, B.Assoc);
+  EXPECT_EQ(A.BlockBytes, B.BlockBytes);
+  EXPECT_EQ(A.Policy, B.Policy);
+  EXPECT_EQ(A.WriteAlloc, B.WriteAlloc);
+}
+
+SimStats sampleStats() {
+  SimStats S;
+  S.NumLevels = 2;
+  S.Level[0] = {123456789012345ull, 987654321ull};
+  S.Level[1] = {987654321ull, 13ull};
+  S.SimulatedAccesses = 1111;
+  S.WarpedAccesses = 123456789012345ull - 1111;
+  S.Warps = 77;
+  S.FailedWarpChecks = 3;
+  S.Seconds = 0.0625; // Binary-exact, so EXPECT_DOUBLE_EQ is meaningful.
+  return S;
+}
+
+TEST(ResultsJson, SimStatsRoundTrip) {
+  SimStats S = sampleStats();
+  expectStatsEq(reserialized(S), S);
+
+  SimStats OneLevel;
+  OneLevel.NumLevels = 1;
+  OneLevel.Level[0] = {42, 7};
+  OneLevel.Seconds = 1.5;
+  expectStatsEq(reserialized(OneLevel), OneLevel);
+}
+
+TEST(ResultsJson, SimStatsRejectsMalformed) {
+  SimStats Out;
+  std::string Err;
+  Value V;
+  ASSERT_TRUE(json::parse("{\"levels\":[]}", V, &Err));
+  EXPECT_FALSE(fromJson(V, Out, &Err)); // Zero levels.
+  ASSERT_TRUE(json::parse("{\"levels\":[{\"accesses\":1}]}", V, &Err));
+  EXPECT_FALSE(fromJson(V, Out, &Err)); // Missing misses member.
+  EXPECT_NE(Err.find("misses"), std::string::npos);
+  ASSERT_TRUE(json::parse("[]", V, &Err));
+  EXPECT_FALSE(fromJson(V, Out, &Err)); // Not an object at all.
+}
+
+TEST(ResultsJson, CountersMustBeExactIntegers) {
+  // Counters are written as exact integers; a negative, fractional or
+  // astronomically large (double-kind) value is a malformed file and
+  // must fail loudly, not truncate or wrap into a plausible counter.
+  SimStats Out;
+  std::string Err;
+  Value V;
+  const char *Base = "{\"levels\":[{\"accesses\":%s,\"misses\":0}],"
+                     "\"simulated_accesses\":0,\"warped_accesses\":0,"
+                     "\"warps\":0,\"failed_warp_checks\":0,\"seconds\":0}";
+  for (const char *BadCount : {"-1", "1.5", "1e300"}) {
+    char Text[256];
+    std::snprintf(Text, sizeof(Text), Base, BadCount);
+    ASSERT_TRUE(json::parse(Text, V, &Err)) << Err;
+    EXPECT_FALSE(fromJson(V, Out, &Err)) << BadCount;
+    EXPECT_NE(Err.find("accesses"), std::string::npos);
+  }
+  char Good[256];
+  std::snprintf(Good, sizeof(Good), Base, "7");
+  ASSERT_TRUE(json::parse(Good, V, &Err));
+  EXPECT_TRUE(fromJson(V, Out, &Err)) << Err;
+  EXPECT_EQ(Out.Level[0].Accesses, 7u);
+}
+
+TEST(ResultsJson, CacheConfigRoundTrip) {
+  for (PolicyKind P : {PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Plru,
+                       PolicyKind::QuadAgeLru})
+    for (WriteAllocate W : {WriteAllocate::Yes, WriteAllocate::No}) {
+      CacheConfig C{3 * 1024 * 1024, 12, 128, P, W};
+      expectCacheEq(reserialized(C), C);
+    }
+}
+
+TEST(ResultsJson, HierarchyConfigRoundTrip) {
+  for (InclusionPolicy Inc :
+       {InclusionPolicy::NonInclusiveNonExclusive, InclusionPolicy::Inclusive,
+        InclusionPolicy::Exclusive}) {
+    HierarchyConfig H = HierarchyConfig::twoLevel(
+        CacheConfig::testSystemL1(), CacheConfig::testSystemL2(), Inc);
+    HierarchyConfig Out = reserialized(H);
+    ASSERT_EQ(Out.numLevels(), 2u);
+    expectCacheEq(Out.Levels[0], H.Levels[0]);
+    expectCacheEq(Out.Levels[1], H.Levels[1]);
+    EXPECT_EQ(Out.Inclusion, H.Inclusion);
+  }
+  HierarchyConfig L1 = HierarchyConfig::singleLevel(CacheConfig::scaledL1());
+  EXPECT_EQ(reserialized(L1).numLevels(), 1u);
+}
+
+TEST(ResultsJson, HierarchyRejectsUnknownPolicyNames) {
+  HierarchyConfig Out;
+  std::string Err;
+  Value V = toJson(HierarchyConfig::singleLevel(CacheConfig::scaledL1()));
+  Value Bad = V;
+  ASSERT_TRUE(json::parse(
+      V.dump(false), Bad, &Err)); // Copy through text, then corrupt.
+  // (Mutating a nested member needs re-set on the copy's levels array.)
+  Value Level0 = Bad["levels"].at(0);
+  Level0.set("policy", "mru");
+  Value Levels = Value::array();
+  Levels.push(std::move(Level0));
+  Bad.set("levels", std::move(Levels));
+  EXPECT_FALSE(fromJson(Bad, Out, &Err));
+  EXPECT_NE(Err.find("mru"), std::string::npos);
+
+  Bad.set("inclusion", "sideways");
+  Value Good = toJson(CacheConfig::scaledL1());
+  Levels = Value::array();
+  Levels.push(std::move(Good));
+  Bad.set("levels", std::move(Levels));
+  EXPECT_FALSE(fromJson(Bad, Out, &Err));
+  EXPECT_NE(Err.find("sideways"), std::string::npos);
+}
+
+TEST(ResultsJson, SimOptionsRoundTrip) {
+  SimOptions O;
+  O.IncludeScalars = true;
+  O.Warp.Enable = false;
+  O.Warp.MaxProbeIters = 17;
+  O.Warp.SnapshotRingSize = 3;
+  O.Warp.MaxSnapshotsPerBucket = 9;
+  O.Warp.MinSnapshotSpacing = -4;
+  O.Warp.MaxDeltaForCoupledDomains = 1234;
+  O.Warp.EagerSnapshotTripLimit = 99;
+  O.Warp.MaxDelta = 4096;
+  O.Warp.DisableAfterFailedActivations = 2;
+  O.Warp.MinProbesForLearning = 5;
+  O.Warp.EnableProfitGuard = false;
+  O.Warp.ProfitGuardActivations = 11;
+  SimOptions Out = reserialized(O);
+  EXPECT_EQ(Out.IncludeScalars, O.IncludeScalars);
+  EXPECT_EQ(Out.Warp.Enable, O.Warp.Enable);
+  EXPECT_EQ(Out.Warp.MaxProbeIters, O.Warp.MaxProbeIters);
+  EXPECT_EQ(Out.Warp.SnapshotRingSize, O.Warp.SnapshotRingSize);
+  EXPECT_EQ(Out.Warp.MaxSnapshotsPerBucket, O.Warp.MaxSnapshotsPerBucket);
+  EXPECT_EQ(Out.Warp.MinSnapshotSpacing, O.Warp.MinSnapshotSpacing);
+  EXPECT_EQ(Out.Warp.MaxDeltaForCoupledDomains,
+            O.Warp.MaxDeltaForCoupledDomains);
+  EXPECT_EQ(Out.Warp.EagerSnapshotTripLimit, O.Warp.EagerSnapshotTripLimit);
+  EXPECT_EQ(Out.Warp.MaxDelta, O.Warp.MaxDelta);
+  EXPECT_EQ(Out.Warp.DisableAfterFailedActivations,
+            O.Warp.DisableAfterFailedActivations);
+  EXPECT_EQ(Out.Warp.MinProbesForLearning, O.Warp.MinProbesForLearning);
+  EXPECT_EQ(Out.Warp.EnableProfitGuard, O.Warp.EnableProfitGuard);
+  EXPECT_EQ(Out.Warp.ProfitGuardActivations, O.Warp.ProfitGuardActivations);
+}
+
+TEST(ResultsJson, BatchResultRoundTrip) {
+  BatchResult R;
+  R.JobIndex = 17;
+  R.Tag = "gemm/\"quoted\"/new\nline\ttab\\slash";
+  R.Ok = false;
+  R.Error = "invalid config: \"bad\"";
+  R.Stats = sampleStats();
+  BatchResult Out = reserialized(R);
+  EXPECT_EQ(Out.JobIndex, R.JobIndex);
+  EXPECT_EQ(Out.Tag, R.Tag); // Escaping survives the round trip.
+  EXPECT_EQ(Out.Ok, R.Ok);
+  EXPECT_EQ(Out.Error, R.Error);
+  expectStatsEq(Out.Stats, R.Stats);
+}
+
+TEST(ResultsJson, DocFromRealBatchRoundTrip) {
+  // Run a real two-job batch (warping + concrete on a mini kernel) and
+  // push the whole report through the file format.
+  std::string BuildErr;
+  ScopProgram P = buildKernel("gemm", ProblemSize::Mini, &BuildErr);
+  ASSERT_TRUE(BuildErr.empty()) << BuildErr;
+
+  std::vector<BatchJob> Jobs;
+  BatchJob J;
+  J.Program = &P;
+  J.Cache = HierarchyConfig::twoLevel(CacheConfig::scaledL1(),
+                                      CacheConfig::scaledL2());
+  J.Options.IncludeScalars = true; // Must survive into the file.
+  J.Backend = SimBackend::Concrete;
+  J.Tag = "gemm/concrete";
+  Jobs.push_back(J);
+  J.Backend = SimBackend::Warping;
+  J.Tag = "gemm/warping";
+  Jobs.push_back(J);
+
+  BatchReport Rep = BatchRunner(1).run(Jobs);
+  ASSERT_TRUE(Rep.allOk());
+
+  ResultsDoc Doc;
+  Doc.Tool = "results_test";
+  Doc.SizeName = "MINI";
+  Doc.Threads = Rep.Threads;
+  Doc.Entries = makeResultEntries(Jobs, Rep);
+  ASSERT_EQ(Doc.Entries.size(), 2u);
+  EXPECT_EQ(Doc.Entries[1].Backend, SimBackend::Warping);
+
+  std::string Path = ::testing::TempDir() + "/wcs_results_test.json";
+  std::string Err;
+  ASSERT_TRUE(writeResultsFile(Path, Doc, &Err)) << Err;
+  ResultsDoc Back;
+  ASSERT_TRUE(readResultsFile(Path, Back, &Err)) << Err;
+
+  EXPECT_EQ(Back.Tool, Doc.Tool);
+  EXPECT_EQ(Back.SizeName, Doc.SizeName);
+  EXPECT_EQ(Back.Threads, Doc.Threads);
+  ASSERT_EQ(Back.Entries.size(), Doc.Entries.size());
+  for (size_t N = 0; N < Doc.Entries.size(); ++N) {
+    EXPECT_EQ(Back.Entries[N].Tag, Doc.Entries[N].Tag);
+    EXPECT_EQ(Back.Entries[N].Backend, Doc.Entries[N].Backend);
+    EXPECT_EQ(Back.Entries[N].Ok, Doc.Entries[N].Ok);
+    EXPECT_TRUE(Back.Entries[N].Options.IncludeScalars);
+    expectStatsEq(Back.Entries[N].Stats, Doc.Entries[N].Stats);
+    ASSERT_EQ(Back.Entries[N].Cache.numLevels(),
+              Doc.Entries[N].Cache.numLevels());
+    for (unsigned L = 0; L < Doc.Entries[N].Cache.numLevels(); ++L)
+      expectCacheEq(Back.Entries[N].Cache.Levels[L],
+                    Doc.Entries[N].Cache.Levels[L]);
+  }
+  const ResultEntry *Warp = Back.find("gemm/warping");
+  ASSERT_NE(Warp, nullptr);
+  EXPECT_EQ(Warp->Stats.totalAccesses(),
+            Back.find("gemm/concrete")->Stats.totalAccesses());
+  EXPECT_EQ(Back.find("gemm/nope"), nullptr);
+
+  // Serialization is deterministic: the same document always dumps to
+  // byte-identical text.
+  EXPECT_EQ(toJson(Doc).dump(), toJson(Doc).dump());
+}
+
+TEST(ResultsJson, SchemaRejection) {
+  ResultsDoc Doc;
+  Doc.Tool = "t";
+  Value Good = toJson(Doc);
+  ResultsDoc Out;
+  std::string Err;
+  ASSERT_TRUE(fromJson(Good, Out, &Err)) << Err;
+
+  Value WrongName = Good;
+  WrongName.set("schema", "speedometer");
+  EXPECT_FALSE(fromJson(WrongName, Out, &Err));
+  EXPECT_NE(Err.find("speedometer"), std::string::npos);
+
+  // A future schema version must be rejected, not half-read.
+  Value Future = Good;
+  Future.set("schema_version", ResultsSchemaVersion + 1);
+  EXPECT_FALSE(fromJson(Future, Out, &Err));
+  EXPECT_NE(Err.find("version"), std::string::npos);
+
+  Value NoStamp = Value::object();
+  NoStamp.set("entries", Value::array());
+  EXPECT_FALSE(fromJson(NoStamp, Out, &Err));
+  EXPECT_NE(Err.find("schema"), std::string::npos);
+}
+
+TEST(ResultsJson, BadEntryDiagnosticsNameTheEntry) {
+  ResultsDoc Doc;
+  ResultEntry E;
+  E.Tag = "ok-entry";
+  E.Cache = HierarchyConfig::singleLevel(CacheConfig::scaledL1());
+  E.Stats.NumLevels = 1;
+  Doc.Entries.push_back(E);
+  Value V = toJson(Doc);
+
+  // Corrupt the (only) entry: drop its stats member.
+  Value BadEntry = V["entries"].at(0);
+  BadEntry.set("stats", Value::array()); // Wrong kind.
+  Value Entries = Value::array();
+  Entries.push(std::move(BadEntry));
+  V.set("entries", std::move(Entries));
+
+  ResultsDoc Out;
+  std::string Err;
+  EXPECT_FALSE(fromJson(V, Out, &Err));
+  EXPECT_NE(Err.find("entry 0"), std::string::npos);
+}
+
+} // namespace

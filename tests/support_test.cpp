@@ -8,6 +8,7 @@
 #include "wcs/support/Hashing.h"
 #include "wcs/support/IterVec.h"
 #include "wcs/support/MathUtil.h"
+#include "wcs/support/StringUtil.h"
 
 #include <gtest/gtest.h>
 
@@ -104,4 +105,68 @@ TEST(IterVec, HashDistinguishesSizeAndContent) {
   EXPECT_NE((IterVec{1, 2}).hash(), (IterVec{1, 2, 0}).hash());
   EXPECT_NE((IterVec{1, 2}).hash(), (IterVec{2, 1}).hash());
   EXPECT_EQ((IterVec{7, 8}).hash(), (IterVec{7, 8}).hash());
+}
+
+TEST(StringUtil, ToLowerAscii) {
+  EXPECT_EQ(toLowerAscii("PLRU"), "plru");
+  EXPECT_EQ(toLowerAscii("MiXeD_09"), "mixed_09");
+  EXPECT_EQ(toLowerAscii(""), "");
+}
+
+TEST(StringUtil, ParseUInt64Strict) {
+  uint64_t V = 99;
+  EXPECT_TRUE(parseUInt64("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseUInt64("18446744073709551615", V));
+  EXPECT_EQ(V, UINT64_MAX);
+  V = 99;
+  // Overflow, signs, spaces, suffixes and empty input all reject and
+  // leave the output untouched.
+  EXPECT_FALSE(parseUInt64("18446744073709551616", V));
+  EXPECT_FALSE(parseUInt64("99999999999999999999999", V));
+  EXPECT_FALSE(parseUInt64("-1", V));
+  EXPECT_FALSE(parseUInt64("+1", V));
+  EXPECT_FALSE(parseUInt64(" 1", V));
+  EXPECT_FALSE(parseUInt64("1k", V));
+  EXPECT_FALSE(parseUInt64("", V));
+  EXPECT_EQ(V, 99u);
+  // The Max parameter caps inclusively, including single-digit caps
+  // (which once underflowed the overflow guard).
+  EXPECT_TRUE(parseUInt64("255", V, 255));
+  EXPECT_FALSE(parseUInt64("256", V, 255));
+  EXPECT_TRUE(parseUInt64("3", V, 3));
+  EXPECT_FALSE(parseUInt64("9", V, 3));
+  EXPECT_FALSE(parseUInt64("25", V, 3));
+  EXPECT_TRUE(parseUInt64("0", V, 0));
+  EXPECT_FALSE(parseUInt64("1", V, 0));
+}
+
+TEST(StringUtil, ParseInt64Range) {
+  int64_t V = 7;
+  EXPECT_TRUE(parseInt64("9223372036854775807", V));
+  EXPECT_EQ(V, INT64_MAX);
+  EXPECT_TRUE(parseInt64("-9223372036854775808", V));
+  EXPECT_EQ(V, INT64_MIN);
+  EXPECT_TRUE(parseInt64("-0", V));
+  EXPECT_EQ(V, 0);
+  V = 7;
+  EXPECT_FALSE(parseInt64("9223372036854775808", V));
+  EXPECT_FALSE(parseInt64("-9223372036854775809", V));
+  EXPECT_FALSE(parseInt64("-", V));
+  EXPECT_FALSE(parseInt64("1.5", V));
+  EXPECT_EQ(V, 7);
+}
+
+TEST(StringUtil, ParseParamBinding) {
+  std::string Name;
+  int64_t V = 0;
+  EXPECT_TRUE(parseParamBinding("N=1024", Name, V));
+  EXPECT_EQ(Name, "N");
+  EXPECT_EQ(V, 1024);
+  EXPECT_TRUE(parseParamBinding("TSTEPS=-3", Name, V));
+  EXPECT_EQ(Name, "TSTEPS");
+  EXPECT_EQ(V, -3);
+  EXPECT_FALSE(parseParamBinding("N", Name, V));
+  EXPECT_FALSE(parseParamBinding("N=abc", Name, V));
+  EXPECT_FALSE(parseParamBinding("N=", Name, V));
 }

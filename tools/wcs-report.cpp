@@ -1,0 +1,222 @@
+//===- tools/wcs-report.cpp - Results diff and regression gate ------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// Diffs two results files (wcs-results schema, written by wcs-sim --json
+// or wcs-bench) entry by entry and prints a per-kernel speedup /
+// miss-delta table. Counters are deterministic, so any miss or access
+// drift is a correctness bug; wall-clock is noisy, so time only gates
+// through a threshold on the geometric-mean ratio.
+//
+//   wcs-report baseline.json current.json
+//   wcs-report bench/baseline.json BENCH_results.json --check --threshold 2
+//
+// Exit status: 0 clean; 1 when --check trips; 2 on usage or I/O errors.
+// --check trips on any counter drift, on entries that disappeared or
+// failed, and on geomean time ratio above the threshold. Entries only
+// present in the current file are informational (new kernels are not a
+// regression).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/driver/Results.h"
+#include "wcs/support/Stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace wcs;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: wcs-report BASELINE.json CURRENT.json [options]\n"
+      "  --check          gate: exit 1 on any miss/access drift, on\n"
+      "                   missing or failed entries, or on time regression\n"
+      "  --threshold X    time gate: fail when geomean(current/baseline)\n"
+      "                   wall-time ratio exceeds X (default 1.25)\n"
+      "  --quiet          print only drifting entries and the summary\n");
+}
+
+/// Total misses across levels (the headline drift number of one entry).
+uint64_t totalMisses(const SimStats &S) {
+  uint64_t M = 0;
+  for (unsigned L = 0; L < S.NumLevels; ++L)
+    M += S.Level[L].Misses;
+  return M;
+}
+
+/// True when the two runs produced identical counters (everything except
+/// wall-clock, which legitimately varies run to run).
+bool countersEqual(const SimStats &A, const SimStats &B) {
+  if (A.NumLevels != B.NumLevels)
+    return false;
+  for (unsigned L = 0; L < A.NumLevels; ++L)
+    if (A.Level[L].Accesses != B.Level[L].Accesses ||
+        A.Level[L].Misses != B.Level[L].Misses)
+      return false;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BasePath, CurPath;
+  bool Check = false, Quiet = false;
+  double Threshold = 1.25;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--check") {
+      Check = true;
+    } else if (A == "--threshold") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --threshold needs an argument\n");
+        return 2;
+      }
+      char *End = nullptr;
+      Threshold = std::strtod(argv[++I], &End);
+      // !(> 0) also rejects NaN, and !isfinite rejects inf: either would
+      // silently disable the time gate (every comparison false / true).
+      if (!End || *End != '\0' || !(Threshold > 0) ||
+          !std::isfinite(Threshold)) {
+        std::fprintf(stderr, "error: bad --threshold '%s'\n", argv[I]);
+        return 2;
+      }
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    } else if (BasePath.empty()) {
+      BasePath = A;
+    } else if (CurPath.empty()) {
+      CurPath = A;
+    } else {
+      std::fprintf(stderr, "error: more than two files given\n");
+      usage();
+      return 2;
+    }
+  }
+  if (CurPath.empty()) {
+    usage();
+    return 2;
+  }
+
+  ResultsDoc Base, Cur;
+  std::string Err;
+  if (!readResultsFile(BasePath, Base, &Err) ||
+      !readResultsFile(CurPath, Cur, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  // Comparing runs of different problem sizes would surface as counter
+  // drift on every entry — a configuration error, not a simulator
+  // regression, so refuse it outright.
+  if (!Base.SizeName.empty() && !Cur.SizeName.empty() &&
+      Base.SizeName != Cur.SizeName) {
+    std::fprintf(stderr,
+                 "error: problem-size mismatch: baseline is %s, current "
+                 "is %s; results are only comparable at the same size\n",
+                 Base.SizeName.c_str(), Cur.SizeName.c_str());
+    return 2;
+  }
+
+  std::printf("baseline %s  (%s%s%s, %zu entries)\n", BasePath.c_str(),
+              Base.Tool.c_str(), Base.SizeName.empty() ? "" : " ",
+              Base.SizeName.c_str(), Base.Entries.size());
+  std::printf("current  %s  (%s%s%s, %zu entries)\n\n", CurPath.c_str(),
+              Cur.Tool.c_str(), Cur.SizeName.empty() ? "" : " ",
+              Cur.SizeName.c_str(), Cur.Entries.size());
+
+  std::printf("%-40s %14s %11s %10s %10s %9s\n", "entry", "accesses",
+              "miss-delta", "base[s]", "cur[s]", "speedup");
+
+  size_t Compared = 0, Drifted = 0, Missing = 0, Failed = 0;
+  GeoMean RatioMean;
+  for (const ResultEntry &B : Base.Entries) {
+    const ResultEntry *C = Cur.find(B.Tag);
+    if (!C) {
+      std::printf("%-40s MISSING from current\n", B.Tag.c_str());
+      ++Missing;
+      continue;
+    }
+    if (!B.Ok || !C->Ok) {
+      std::printf("%-40s FAILED (%s)\n", B.Tag.c_str(),
+                  !C->Ok ? C->Error.c_str() : "baseline entry failed");
+      ++Failed;
+      continue;
+    }
+    ++Compared;
+    bool Equal = countersEqual(B.Stats, C->Stats);
+    if (!Equal)
+      ++Drifted;
+    int64_t MissDelta = static_cast<int64_t>(totalMisses(C->Stats)) -
+                        static_cast<int64_t>(totalMisses(B.Stats));
+    double Ratio = 0.0;
+    if (B.Stats.Seconds > 0 && C->Stats.Seconds > 0) {
+      Ratio = C->Stats.Seconds / B.Stats.Seconds;
+      RatioMean.add(Ratio);
+    }
+    if (!Quiet || !Equal)
+      std::printf("%-40s %14llu %11lld %10.4f %10.4f %8.2fx%s\n",
+                  B.Tag.c_str(),
+                  static_cast<unsigned long long>(
+                      C->Stats.totalAccesses()),
+                  static_cast<long long>(MissDelta), B.Stats.Seconds,
+                  C->Stats.Seconds, Ratio > 0 ? 1.0 / Ratio : 0.0,
+                  Equal ? "" : "  COUNTER DRIFT");
+  }
+
+  size_t Extra = 0;
+  for (const ResultEntry &C : Cur.Entries)
+    if (!Base.find(C.Tag))
+      ++Extra;
+
+  // Neutral 1.0 when no pair had usable timings (nothing to gate on).
+  double GeoRatio = RatioMean.count() ? RatioMean.value() : 1.0;
+  std::printf("\ncompared %zu entries: %zu counter drift(s), %zu missing, "
+              "%zu failed, %zu new\n",
+              Compared, Drifted, Missing, Failed, Extra);
+  std::printf("geomean time ratio current/baseline: %.3f "
+              "(speedup %.2fx; gate threshold %.2f)\n",
+              GeoRatio, GeoRatio > 0 ? 1.0 / GeoRatio : 0.0, Threshold);
+
+  if (!Check)
+    return 0;
+  bool Bad = false;
+  if (Drifted) {
+    std::printf("CHECK FAIL: %zu entries changed deterministic counters\n",
+                Drifted);
+    Bad = true;
+  }
+  if (Missing) {
+    std::printf("CHECK FAIL: %zu baseline entries missing from current\n",
+                Missing);
+    Bad = true;
+  }
+  if (Failed) {
+    std::printf("CHECK FAIL: %zu entries failed\n", Failed);
+    Bad = true;
+  }
+  if (GeoRatio > Threshold) {
+    std::printf("CHECK FAIL: geomean time ratio %.3f exceeds threshold "
+                "%.2f\n",
+                GeoRatio, Threshold);
+    Bad = true;
+  }
+  if (!Bad)
+    std::printf("CHECK OK\n");
+  return Bad ? 1 : 0;
+}

@@ -21,9 +21,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "wcs/driver/BatchRunner.h"
+#include "wcs/driver/Results.h"
 #include "wcs/frontend/Frontend.h"
 #include "wcs/polybench/Polybench.h"
+#include "wcs/support/StringUtil.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -52,50 +55,30 @@ void usage() {
       "  --backend B           warp|concrete|trace (default: warp)\n"
       "  --no-warp             same as --backend concrete\n"
       "  --compare             run warping + concrete and verify + report\n"
+      "  --json FILE           also write the results as JSON "
+      "(wcs-results schema;\n"
+      "                        feed two such files to wcs-report)\n"
       "  --jobs N              simulate on N worker threads "
       "(default 1; 0 = all cores)\n"
       "  --dump                print the program tree before simulating\n"
       "  --list                list the PolyBench kernels and exit\n");
 }
 
-bool parsePolicy(const std::string &S, PolicyKind &K) {
-  if (S == "lru")
-    K = PolicyKind::Lru;
-  else if (S == "fifo")
-    K = PolicyKind::Fifo;
-  else if (S == "plru")
-    K = PolicyKind::Plru;
-  else if (S == "qlru")
-    K = PolicyKind::QuadAgeLru;
-  else
-    return false;
-  return true;
-}
-
 bool parseCache(const std::string &Spec, CacheConfig &C) {
   std::istringstream IS(Spec);
-  std::string Bytes, Assoc, Pol;
+  std::string Bytes, Assoc, Pol, Extra;
   if (!std::getline(IS, Bytes, ',') || !std::getline(IS, Assoc, ',') ||
-      !std::getline(IS, Pol, ','))
+      !std::getline(IS, Pol, ',') || std::getline(IS, Extra, ','))
+    return false; // Exactly three fields; trailing junk is a typo.
+  uint64_t AssocVal;
+  // Sizes cap at int64 max so a config always serializes as an exact
+  // JSON integer (see Value(uint64_t) in Json.h).
+  if (!parseUInt64(Bytes, C.SizeBytes, INT64_MAX) ||
+      !parseUInt64(Assoc, AssocVal, UINT32_MAX))
     return false;
-  C.SizeBytes = std::stoull(Bytes);
-  C.Assoc = static_cast<unsigned>(std::stoul(Assoc));
+  C.Assoc = static_cast<unsigned>(AssocVal);
   C.BlockBytes = 64;
-  return parsePolicy(Pol, C.Policy);
-}
-
-bool parseSize(const std::string &S, ProblemSize &Out) {
-  for (unsigned I = 0; I < NumProblemSizes; ++I) {
-    ProblemSize P = static_cast<ProblemSize>(I);
-    std::string N = problemSizeName(P);
-    for (char &C : N)
-      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
-    if (N == S) {
-      Out = P;
-      return true;
-    }
-  }
-  return false;
+  return parsePolicyName(Pol, C.Policy);
 }
 
 void printStats(const char *Tag, const SimStats &S) {
@@ -118,7 +101,7 @@ void printStats(const char *Tag, const SimStats &S) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Kernel, File;
+  std::string Kernel, File, JsonPath;
   ProblemSize Size = ProblemSize::Large;
   std::map<std::string, int64_t> Params;
   CacheConfig L1{4096, 8, 64, PolicyKind::Plru, WriteAllocate::Yes};
@@ -151,33 +134,33 @@ int main(int argc, char **argv) {
         return 2;
       }
     } else if (A == "--backend") {
-      std::string B = Next();
-      if (B == "warp")
-        Backend = SimBackend::Warping;
-      else if (B == "concrete")
-        Backend = SimBackend::Concrete;
-      else if (B == "trace")
-        Backend = SimBackend::Trace;
-      else {
-        std::fprintf(stderr, "error: unknown backend '%s'\n", B.c_str());
+      const char *B = Next();
+      if (!parseBackendName(B, Backend)) {
+        std::fprintf(stderr, "error: unknown backend '%s'\n", B);
         return 2;
       }
       BackendSet = true;
     } else if (A == "--file") {
       File = Next();
+    } else if (A == "--json") {
+      JsonPath = Next();
     } else if (A == "--size") {
-      if (!parseSize(Next(), Size)) {
+      if (!parseProblemSize(Next(), Size)) {
         std::fprintf(stderr, "error: unknown size\n");
         return 2;
       }
     } else if (A == "--param") {
-      std::string P = Next();
-      size_t Eq = P.find('=');
-      if (Eq == std::string::npos) {
-        std::fprintf(stderr, "error: --param expects NAME=VALUE\n");
+      const char *P = Next();
+      std::string ParamName;
+      int64_t ParamVal = 0;
+      if (!parseParamBinding(P, ParamName, ParamVal)) {
+        std::fprintf(stderr,
+                     "error: --param expects NAME=VALUE with an integer "
+                     "value, got '%s'\n",
+                     P);
         return 2;
       }
-      Params[P.substr(0, Eq)] = std::stoll(P.substr(Eq + 1));
+      Params[ParamName] = ParamVal;
     } else if (A == "--l1") {
       if (!parseCache(Next(), L1)) {
         std::fprintf(stderr, "error: bad --l1 spec\n");
@@ -287,9 +270,13 @@ int main(int argc, char **argv) {
     J.Options = Opts;
     J.Tag = P.Name;
     if (Compare) {
+      // Distinct tags per backend: results files key on the tag, so the
+      // two halves of a pair must not collide.
       J.Backend = SimBackend::Concrete;
+      J.Tag = P.Name + std::string("/") + backendName(J.Backend);
       Work.push_back(J);
       J.Backend = SimBackend::Warping;
+      J.Tag = P.Name + std::string("/") + backendName(J.Backend);
       Work.push_back(std::move(J));
     } else {
       J.Backend = Backend;
@@ -330,6 +317,21 @@ int main(int argc, char **argv) {
                                   : "trace-driven";
       printStats(Tag, Rep.Results[Base].Stats);
     }
+  }
+
+  if (!JsonPath.empty()) {
+    ResultsDoc Doc;
+    Doc.Tool = "wcs-sim";
+    Doc.SizeName = File.empty() ? problemSizeName(Size) : "";
+    Doc.Threads = Rep.Threads;
+    Doc.Entries = makeResultEntries(Work, Rep);
+    std::string Err;
+    if (!writeResultsFile(JsonPath, Doc, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("results  wrote %zu entries to %s\n", Doc.Entries.size(),
+                JsonPath.c_str());
   }
 
   if (Work.size() > 1)

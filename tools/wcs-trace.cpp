@@ -18,6 +18,7 @@
 
 #include "wcs/frontend/Frontend.h"
 #include "wcs/polybench/Polybench.h"
+#include "wcs/support/StringUtil.h"
 #include "wcs/trace/StackDistance.h"
 #include "wcs/trace/TraceGenerator.h"
 
@@ -44,19 +45,6 @@ void usage() {
       "  --curve      print the fully-associative LRU miss-ratio curve\n");
 }
 
-bool parseSize(const std::string &S, ProblemSize &Out) {
-  for (unsigned I = 0; I < NumProblemSizes; ++I) {
-    ProblemSize P = static_cast<ProblemSize>(I);
-    std::string N = problemSizeName(P);
-    for (char &C : N)
-      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
-    if (N == S) {
-      Out = P;
-      return true;
-    }
-  }
-  return false;
-}
 
 } // namespace
 
@@ -80,18 +68,22 @@ int main(int argc, char **argv) {
     } else if (A == "--file") {
       File = Next();
     } else if (A == "--size") {
-      if (!parseSize(Next(), Size)) {
+      if (!parseProblemSize(Next(), Size)) {
         std::fprintf(stderr, "error: unknown size\n");
         return 2;
       }
     } else if (A == "--param") {
-      std::string P = Next();
-      size_t Eq = P.find('=');
-      if (Eq == std::string::npos) {
-        std::fprintf(stderr, "error: --param expects NAME=VALUE\n");
+      const char *P = Next();
+      std::string ParamName;
+      int64_t ParamVal = 0;
+      if (!parseParamBinding(P, ParamName, ParamVal)) {
+        std::fprintf(stderr,
+                     "error: --param expects NAME=VALUE with an integer "
+                     "value, got '%s'\n",
+                     P);
         return 2;
       }
-      Params[P.substr(0, Eq)] = std::stoll(P.substr(Eq + 1));
+      Params[ParamName] = ParamVal;
     } else if (A == "--scalars") {
       TO.IncludeScalars = true;
     } else if (A == "--din" || A == "--histogram" || A == "--curve") {
