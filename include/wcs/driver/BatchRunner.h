@@ -37,6 +37,11 @@ enum class SimBackend {
   Warping,  ///< Warping symbolic simulation (paper Algorithm 2).
   Concrete, ///< Non-warping simulation (paper Algorithm 1).
   Trace,    ///< Trace-driven simulation (materialized address trace).
+  /// Analytical LRU model: one trace pass into per-set stack-distance
+  /// histograms (the HayStack approach generalized to set-associative
+  /// geometries). Exact for single-level write-allocate LRU; any other
+  /// configuration fails the job with a diagnostic.
+  StackDistance,
 };
 
 const char *backendName(SimBackend B);

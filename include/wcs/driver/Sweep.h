@@ -1,0 +1,171 @@
+//===- wcs/driver/Sweep.h - Single-pass cache-hierarchy sweep ---*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Design-space sweep driver: evaluates one program against a whole grid
+/// of cache-hierarchy configurations for far less than one simulation
+/// per configuration. Two mechanisms stack:
+///
+///  - Single-level write-allocate LRU points are answered analytically
+///    from ONE shared trace pass: the pass feeds a per-set
+///    stack-distance bank (SetDistanceBank) per distinct (block size,
+///    set count) geometry, and every associativity of a geometry -- and
+///    thus every capacity point -- falls out of the Mattson inclusion
+///    property without further work. K LRU capacity points cost one
+///    trace generation instead of K simulations.
+///
+///  - All remaining points (FIFO / PLRU / QLRU, multi-level, no-write-
+///    allocate) are deduplicated -- grids routinely expand to identical
+///    configurations -- and fanned across BatchRunner workers, on the
+///    warping backend by default.
+///
+/// Results carry per-point provenance (method, backend, attributed wall
+/// time) and serialize as a schema-versioned "wcs-sweep" document,
+/// reusing the Json/Results plumbing of the wcs-results files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_DRIVER_SWEEP_H
+#define WCS_DRIVER_SWEEP_H
+
+#include "wcs/driver/BatchRunner.h"
+#include "wcs/support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcs {
+
+/// How one sweep point's counters were obtained.
+enum class SweepMethod {
+  StackDistance, ///< Shared per-set stack-distance pass (LRU fast path).
+  Simulated,     ///< Dedicated simulation job through BatchRunner.
+};
+
+const char *sweepMethodName(SweepMethod M);
+
+/// Inverse of sweepMethodName. Returns false on an unknown name, leaving
+/// \p Out untouched.
+bool parseSweepMethodName(const std::string &Name, SweepMethod &Out);
+
+/// The grid of one cache level: capacities x associativities x policies
+/// at a fixed block size. Expanded as a cross product.
+struct SweepLevelGrid {
+  std::vector<uint64_t> SizesBytes;
+  /// Way counts; the value 0 encodes "fully associative" (one set, the
+  /// HayStack cache model), resolved per capacity during expansion.
+  std::vector<unsigned> Assocs = {8};
+  std::vector<PolicyKind> Policies = {PolicyKind::Lru};
+  unsigned BlockBytes = 64;
+};
+
+/// Parses the wcs-sim sweep grid syntax for one level:
+///
+///   SIZES[,assoc=A[,A...]][,policy=P[,P...]][,block=N]
+///
+/// SIZES is one or more capacities ("8K", "4096", "1M") or geometric
+/// ranges "LO:HI:xF" (LO, LO*F, ... up to HI inclusive). assoc values
+/// are way counts or "full" (fully associative); policies are the
+/// wcs-sim policy spellings (lru|fifo|plru|qlru); block takes a single
+/// byte count. Example: "8K:256K:x2,assoc=4,8" is six capacities times
+/// two way counts = twelve LRU points. Returns false with a diagnostic
+/// in \p Err on malformed specs.
+bool parseSweepLevelGrid(const std::string &Spec, SweepLevelGrid &Out,
+                         std::string *Err);
+
+/// Expands one or two level grids into the hierarchy-config list of a
+/// sweep (cross product over levels; no \p L2 = single-level). Every
+/// expanded configuration is validated; the first invalid point fails
+/// the expansion with a diagnostic naming it.
+bool expandSweepGrid(const SweepLevelGrid &L1, const SweepLevelGrid *L2,
+                     InclusionPolicy Inclusion,
+                     std::vector<HierarchyConfig> &Out, std::string *Err);
+
+/// Outcome of one grid point.
+struct SweepPoint {
+  HierarchyConfig Cache;
+  SweepMethod Method = SweepMethod::Simulated;
+  SimBackend Backend = SimBackend::Warping;
+  bool Ok = false;
+  std::string Error;
+  /// Counters; Stats.Seconds is the wall time attributed to this point
+  /// (its job's time, or an equal share of the shared trace pass for
+  /// stack-distance points).
+  SimStats Stats;
+};
+
+struct SweepOptions {
+  SimOptions Sim;
+  /// Worker threads for the simulated partition (0 = all cores).
+  unsigned Threads = 1;
+  /// Backend for points the fast path cannot answer.
+  SimBackend Backend = SimBackend::Warping;
+};
+
+/// Everything runSweep returns: per-point results in input order plus
+/// the shared-pass and partition figures.
+struct SweepReport {
+  std::vector<SweepPoint> Points; ///< Indexed by input config order.
+  double TracePassSeconds = 0.0;  ///< Cost of the shared trace pass.
+  uint64_t TraceAccesses = 0;     ///< Accesses in the shared pass.
+  unsigned NumBanks = 0;          ///< Distinct (block, sets) geometries.
+  size_t StackDistancePoints = 0; ///< Points answered analytically.
+  size_t SimulatedJobs = 0;       ///< Jobs actually run (after dedup).
+  size_t DedupedPoints = 0;       ///< Simulated points sharing a job.
+  double WallSeconds = 0.0;
+  unsigned Threads = 1;
+
+  bool allOk() const;
+  /// One-line partition/cost summary for tools.
+  std::string summary() const;
+};
+
+/// Sweeps \p Program over \p Configs. Configurations may repeat; every
+/// input index gets a point. The program must outlive the call.
+SweepReport runSweep(const ScopProgram &Program,
+                     const std::vector<HierarchyConfig> &Configs,
+                     const SweepOptions &Opts);
+
+//===----------------------------------------------------------------------===//
+// The wcs-sweep results document
+//===----------------------------------------------------------------------===//
+
+/// Sweep-file format identifier and version; same regime as the
+/// wcs-results schema (readers reject any mismatch).
+inline constexpr const char SweepSchemaName[] = "wcs-sweep";
+inline constexpr int64_t SweepSchemaVersion = 1;
+
+/// A whole sweep file: producer metadata, shared-pass figures, points.
+struct SweepDoc {
+  std::string Tool;     ///< Producing tool ("wcs-sim").
+  std::string Program;  ///< Swept program (kernel name or file).
+  std::string SizeName; ///< Problem-size label, empty when inapplicable.
+  unsigned Threads = 1;
+  double TracePassSeconds = 0.0;
+  uint64_t TraceAccesses = 0;
+  size_t SimulatedJobs = 0;
+  size_t DedupedPoints = 0;
+  std::vector<SweepPoint> Points;
+};
+
+json::Value toJson(const SweepPoint &P);
+bool fromJson(const json::Value &V, SweepPoint &Out, std::string *Err);
+json::Value toJson(const SweepDoc &D);
+bool fromJson(const json::Value &V, SweepDoc &Out, std::string *Err);
+
+bool writeSweepFile(const std::string &Path, const SweepDoc &D,
+                    std::string *Err);
+bool readSweepFile(const std::string &Path, SweepDoc &Out, std::string *Err);
+
+/// Packages a sweep report as a document.
+SweepDoc makeSweepDoc(std::string Tool, std::string Program,
+                      std::string SizeName, const SweepReport &Report);
+
+} // namespace wcs
+
+#endif // WCS_DRIVER_SWEEP_H

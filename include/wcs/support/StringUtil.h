@@ -53,6 +53,41 @@ inline bool parseUInt64(std::string_view Text, uint64_t &Out,
   return true;
 }
 
+/// Parses a byte count with an optional binary-unit suffix: "4096",
+/// "8K"/"8k" (KiB), "2M" (MiB), "1G" (GiB). Same strictness as
+/// parseUInt64 (whole token, no sign or spaces), overflow-checked
+/// against \p Max. The parser behind cache-capacity fields of the sweep
+/// grid syntax.
+inline bool parseByteSize(std::string_view Text, uint64_t &Out,
+                          uint64_t Max = UINT64_MAX) {
+  uint64_t Shift = 0;
+  if (!Text.empty()) {
+    switch (Text.back()) {
+    case 'K':
+    case 'k':
+      Shift = 10;
+      break;
+    case 'M':
+    case 'm':
+      Shift = 20;
+      break;
+    case 'G':
+    case 'g':
+      Shift = 30;
+      break;
+    default:
+      break;
+    }
+    if (Shift != 0)
+      Text.remove_suffix(1);
+  }
+  uint64_t V;
+  if (!parseUInt64(Text, V, Max >> Shift))
+    return false;
+  Out = V << Shift;
+  return true;
+}
+
 /// Signed companion of parseUInt64: an optional leading '-' followed by
 /// digits, anywhere in [INT64_MIN, INT64_MAX]. Same strictness, never
 /// throws.

@@ -35,7 +35,12 @@ namespace wcs {
 /// Online exact stack-distance profiler at block granularity.
 class StackDistanceProfiler {
 public:
-  explicit StackDistanceProfiler(unsigned BlockBytes = 64);
+  /// \p InitialTreeCapacity sizes the binary indexed tree before the
+  /// first growth step (rounded up to a power of two, which the growth
+  /// logic requires). The default suits a lone profiler; per-set banks
+  /// pass a small value so thousands of profilers start cheap.
+  explicit StackDistanceProfiler(unsigned BlockBytes = 64,
+                                 size_t InitialTreeCapacity = 1024);
 
   /// Records an access to byte address \p Addr.
   void accessAddr(int64_t Addr) { accessBlock(Addr >> BlockShift); }
@@ -73,12 +78,66 @@ private:
   std::vector<uint64_t> Hist;
 };
 
+/// Bank of per-set stack-distance profilers: exact LRU miss counts of a
+/// fixed (block size, set count) geometry for *every* associativity at
+/// once. Under modulo placement each set is an independent
+/// fully-associative LRU over the blocks mapping to it, so per-set
+/// Mattson histograms generalize the fully-associative profiler
+/// (NumSets == 1 degenerates to exactly it). This is the single-pass
+/// fast path of the sweep driver: one trace pass feeds one bank per
+/// distinct geometry, and every LRU capacity point is answered from the
+/// histograms.
+class SetDistanceBank {
+public:
+  /// \p NumSets must be a power of two (modulo placement).
+  SetDistanceBank(unsigned BlockBytes, unsigned NumSets);
+
+  unsigned numSets() const { return static_cast<unsigned>(Sets.size()); }
+  unsigned blockBytes() const { return 1u << BlockShift; }
+
+  void accessAddr(int64_t Addr) {
+    BlockId B = Addr >> BlockShift;
+    Sets[static_cast<size_t>(static_cast<uint64_t>(B) & SetMask)]
+        .accessBlock(B);
+    ++Total;
+  }
+
+  uint64_t totalAccesses() const { return Total; }
+
+  /// Misses of the set-associative LRU cache with this bank's geometry
+  /// and \p Assoc ways: per set, cold accesses plus accesses at stack
+  /// distance >= Assoc.
+  uint64_t missesForAssoc(uint64_t Assoc) const;
+
+  /// True when \p C is answerable from this bank: same block size and
+  /// set count, LRU, write-allocate (a non-allocating write miss leaves
+  /// the stack untouched in hardware but not in the histogram).
+  bool matches(const CacheConfig &C) const;
+
+  /// Miss count of \p C; \p C must satisfy matches().
+  uint64_t missesForCache(const CacheConfig &C) const;
+
+private:
+  unsigned BlockShift;
+  uint64_t SetMask;
+  uint64_t Total = 0;
+  std::vector<StackDistanceProfiler> Sets;
+};
+
 /// Profiles every (array) access of \p Program; scalar accesses are
 /// excluded to match HayStack's accounting.
 StackDistanceProfiler profileProgram(const ScopProgram &Program,
                                      unsigned BlockBytes,
                                      bool IncludeScalars = false,
                                      double *Seconds = nullptr);
+
+/// One-config companion of the sweep fast path: profiles \p Program into
+/// a single bank of \p NumSets per-set histograms (the stack-distance
+/// simulation backend of BatchRunner).
+SetDistanceBank profileProgramSets(const ScopProgram &Program,
+                                   unsigned BlockBytes, unsigned NumSets,
+                                   bool IncludeScalars = false,
+                                   double *Seconds = nullptr);
 
 } // namespace wcs
 

@@ -59,8 +59,15 @@ bool wcs::parseInclusionName(const std::string &Name, InclusionPolicy &Out) {
 std::string CacheConfig::validate() const {
   if (BlockBytes == 0 || !isPowerOf2(BlockBytes))
     return "block size must be a power of two";
-  if (Assoc == 0 || Assoc > 64)
-    return "associativity must be in [1, 64]";
+  // LRU state is purely positional (recency order of the ways), so any
+  // associativity simulates correctly; 4096 lines covers the largest
+  // fully-associative capacity the sweep's HayStack-model points use.
+  // The other policies keep metadata in fixed-width per-set words
+  // (PLRU tree bits, 2-bit ages), whose layouts cap the way count.
+  unsigned MaxAssoc = Policy == PolicyKind::Lru ? 4096 : 64;
+  if (Assoc == 0 || Assoc > MaxAssoc)
+    return Policy == PolicyKind::Lru ? "associativity must be in [1, 4096]"
+                                     : "associativity must be in [1, 64]";
   if (SizeBytes == 0 || SizeBytes % (static_cast<uint64_t>(Assoc) *
                                      BlockBytes) != 0)
     return "cache size must be a multiple of associativity * block size";

@@ -1,0 +1,131 @@
+//===- src/driver/JsonFieldHelpers.h - fromJson field plumbing -*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared member-extraction helpers behind every fromJson of the results
+/// layer (Results.cpp) and the sweep layer (Sweep.cpp): fetch an object
+/// member, check its kind, and produce the uniform "missing or mistyped
+/// member" diagnostics. Internal to src/driver — results files are read
+/// through the typed fromJson entry points, never through these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_DRIVER_JSONFIELDHELPERS_H
+#define WCS_DRIVER_JSONFIELDHELPERS_H
+
+#include "wcs/support/Json.h"
+
+#include <cstdint>
+#include <string>
+
+namespace wcs {
+namespace jsonfield {
+
+inline bool failMsg(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// Fetches object member \p Key into \p Out. Central place for the
+/// "missing or mistyped member" diagnostics every fromJson needs.
+inline bool needMember(const json::Value &V, const char *Key,
+                       const json::Value *&Out, std::string *Err) {
+  if (!V.isObject())
+    return failMsg(Err, "expected an object");
+  Out = V.find(Key);
+  if (!Out)
+    return failMsg(Err, std::string("missing member '") + Key + "'");
+  return true;
+}
+
+// Counters and config fields are written as exact JSON integers, so the
+// readers demand the Int kind outright: a fractional, out-of-range or
+// (for unsigned fields) negative number is a malformed file and fails
+// loudly instead of being truncated or wrapped into a plausible value.
+
+inline bool needUInt(const json::Value &V, const char *Key, uint64_t &Out,
+                     std::string *Err) {
+  const json::Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (M->kind() != json::Value::Kind::Int || M->asInt() < 0)
+    return failMsg(Err, std::string("member '") + Key +
+                            "' must be a non-negative integer");
+  Out = M->asUInt();
+  return true;
+}
+
+inline bool needInt(const json::Value &V, const char *Key, int64_t &Out,
+                    std::string *Err) {
+  const json::Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (M->kind() != json::Value::Kind::Int)
+    return failMsg(Err, std::string("member '") + Key + "' must be an integer");
+  Out = M->asInt();
+  return true;
+}
+
+inline bool needU32(const json::Value &V, const char *Key, unsigned &Out,
+                    std::string *Err) {
+  uint64_t U;
+  if (!needUInt(V, Key, U, Err))
+    return false;
+  if (U > 0xffffffffull)
+    return failMsg(Err, std::string("member '") + Key +
+                            "' does not fit in 32 bits");
+  Out = static_cast<unsigned>(U);
+  return true;
+}
+
+inline bool needDouble(const json::Value &V, const char *Key, double &Out,
+                       std::string *Err) {
+  const json::Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (!M->isNumber())
+    return failMsg(Err, std::string("member '") + Key + "' must be a number");
+  Out = M->asDouble();
+  return true;
+}
+
+inline bool needBool(const json::Value &V, const char *Key, bool &Out,
+                     std::string *Err) {
+  const json::Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (!M->isBool())
+    return failMsg(Err, std::string("member '") + Key + "' must be a bool");
+  Out = M->asBool();
+  return true;
+}
+
+inline bool needString(const json::Value &V, const char *Key,
+                       std::string &Out, std::string *Err) {
+  const json::Value *M;
+  if (!needMember(V, Key, M, Err))
+    return false;
+  if (!M->isString())
+    return failMsg(Err, std::string("member '") + Key + "' must be a string");
+  Out = M->asString();
+  return true;
+}
+
+inline bool needArray(const json::Value &V, const char *Key,
+                      const json::Value *&Out, std::string *Err) {
+  if (!needMember(V, Key, Out, Err))
+    return false;
+  if (!Out->isArray())
+    return failMsg(Err, std::string("member '") + Key + "' must be an array");
+  return true;
+}
+
+} // namespace jsonfield
+} // namespace wcs
+
+#endif // WCS_DRIVER_JSONFIELDHELPERS_H

@@ -7,117 +7,13 @@
 
 #include "wcs/driver/Results.h"
 
+#include "JsonFieldHelpers.h"
+
 #include <sstream>
 
 using namespace wcs;
+using namespace wcs::jsonfield;
 using json::Value;
-
-//===----------------------------------------------------------------------===//
-// fromJson plumbing
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-bool failMsg(std::string *Err, const std::string &Msg) {
-  if (Err)
-    *Err = Msg;
-  return false;
-}
-
-/// Fetches object member \p Key of kind checked by \p Pred into \p Out
-/// via \p Get. Central place for the "missing or mistyped member"
-/// diagnostics every fromJson needs.
-bool needMember(const Value &V, const char *Key, const Value *&Out,
-                std::string *Err) {
-  if (!V.isObject())
-    return failMsg(Err, "expected an object");
-  Out = V.find(Key);
-  if (!Out)
-    return failMsg(Err, std::string("missing member '") + Key + "'");
-  return true;
-}
-
-// Counters and config fields are written as exact JSON integers, so the
-// readers demand the Int kind outright: a fractional, out-of-range or
-// (for unsigned fields) negative number is a malformed file and fails
-// loudly instead of being truncated or wrapped into a plausible value.
-
-bool needUInt(const Value &V, const char *Key, uint64_t &Out,
-              std::string *Err) {
-  const Value *M;
-  if (!needMember(V, Key, M, Err))
-    return false;
-  if (M->kind() != Value::Kind::Int || M->asInt() < 0)
-    return failMsg(Err, std::string("member '") + Key +
-                            "' must be a non-negative integer");
-  Out = M->asUInt();
-  return true;
-}
-
-bool needInt(const Value &V, const char *Key, int64_t &Out, std::string *Err) {
-  const Value *M;
-  if (!needMember(V, Key, M, Err))
-    return false;
-  if (M->kind() != Value::Kind::Int)
-    return failMsg(Err, std::string("member '") + Key + "' must be an integer");
-  Out = M->asInt();
-  return true;
-}
-
-bool needU32(const Value &V, const char *Key, unsigned &Out,
-             std::string *Err) {
-  uint64_t U;
-  if (!needUInt(V, Key, U, Err))
-    return false;
-  if (U > 0xffffffffull)
-    return failMsg(Err, std::string("member '") + Key +
-                            "' does not fit in 32 bits");
-  Out = static_cast<unsigned>(U);
-  return true;
-}
-
-bool needDouble(const Value &V, const char *Key, double &Out,
-                std::string *Err) {
-  const Value *M;
-  if (!needMember(V, Key, M, Err))
-    return false;
-  if (!M->isNumber())
-    return failMsg(Err, std::string("member '") + Key + "' must be a number");
-  Out = M->asDouble();
-  return true;
-}
-
-bool needBool(const Value &V, const char *Key, bool &Out, std::string *Err) {
-  const Value *M;
-  if (!needMember(V, Key, M, Err))
-    return false;
-  if (!M->isBool())
-    return failMsg(Err, std::string("member '") + Key + "' must be a bool");
-  Out = M->asBool();
-  return true;
-}
-
-bool needString(const Value &V, const char *Key, std::string &Out,
-                std::string *Err) {
-  const Value *M;
-  if (!needMember(V, Key, M, Err))
-    return false;
-  if (!M->isString())
-    return failMsg(Err, std::string("member '") + Key + "' must be a string");
-  Out = M->asString();
-  return true;
-}
-
-bool needArray(const Value &V, const char *Key, const Value *&Out,
-               std::string *Err) {
-  if (!needMember(V, Key, Out, Err))
-    return false;
-  if (!Out->isArray())
-    return failMsg(Err, std::string("member '") + Key + "' must be an array");
-  return true;
-}
-
-} // namespace
 
 //===----------------------------------------------------------------------===//
 // Counters

@@ -1,0 +1,488 @@
+//===- src/driver/Sweep.cpp - Single-pass cache-hierarchy sweep -----------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/driver/Sweep.h"
+
+#include "JsonFieldHelpers.h"
+#include "wcs/driver/Results.h"
+#include "wcs/support/StringUtil.h"
+#include "wcs/trace/StackDistance.h"
+#include "wcs/trace/TraceGenerator.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+using namespace wcs;
+using namespace wcs::jsonfield;
+using json::Value;
+
+const char *wcs::sweepMethodName(SweepMethod M) {
+  switch (M) {
+  case SweepMethod::StackDistance:
+    return "stack-distance";
+  case SweepMethod::Simulated:
+    return "simulated";
+  }
+  return "?";
+}
+
+bool wcs::parseSweepMethodName(const std::string &Name, SweepMethod &Out) {
+  std::string L = toLowerAscii(Name);
+  if (L == "stack-distance" || L == "stackdistance")
+    Out = SweepMethod::StackDistance;
+  else if (L == "simulated")
+    Out = SweepMethod::Simulated;
+  else
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Grid syntax
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Expands one capacity token: a plain byte size or a geometric range
+/// "LO:HI:xF".
+bool appendSizes(const std::string &Tok, std::vector<uint64_t> &Sizes,
+                 std::string *Err) {
+  // Capacity points cap at int64 max so configs always serialize as
+  // exact JSON integers (see Value(uint64_t) in Json.h).
+  constexpr uint64_t MaxBytes = INT64_MAX;
+  if (Tok.find(':') == std::string::npos) {
+    uint64_t S;
+    if (!parseByteSize(Tok, S, MaxBytes))
+      return failMsg(Err, "bad capacity '" + Tok + "'");
+    Sizes.push_back(S);
+    return true;
+  }
+  std::istringstream IS(Tok);
+  std::string Lo, Hi, Step;
+  if (!std::getline(IS, Lo, ':') || !std::getline(IS, Hi, ':') ||
+      !std::getline(IS, Step, ':') || IS.rdbuf()->in_avail() != 0)
+    return failMsg(Err, "bad capacity range '" + Tok +
+                            "' (expected LO:HI:xF)");
+  uint64_t LoB, HiB, Factor;
+  if (!parseByteSize(Lo, LoB, MaxBytes) || !parseByteSize(Hi, HiB, MaxBytes))
+    return failMsg(Err, "bad capacity range '" + Tok + "'");
+  if (Step.size() < 2 || Step[0] != 'x' ||
+      !parseUInt64(Step.substr(1), Factor, 1024) || Factor < 2)
+    return failMsg(Err, "bad range step '" + Step +
+                            "' (expected xN with N >= 2)");
+  if (LoB == 0 || LoB > HiB)
+    return failMsg(Err, "empty capacity range '" + Tok + "'");
+  for (uint64_t S = LoB;; S *= Factor) {
+    Sizes.push_back(S);
+    if (S > HiB / Factor) // Next step would pass HI (or overflow).
+      break;
+  }
+  return true;
+}
+
+} // namespace
+
+bool wcs::parseSweepLevelGrid(const std::string &Spec, SweepLevelGrid &Out,
+                              std::string *Err) {
+  SweepLevelGrid G;
+  G.Assocs.clear();
+  G.Policies.clear();
+  bool BlockSet = false;
+
+  // Comma-separated tokens; "key=" opens a value list that bare tokens
+  // extend, so "assoc=4,8" parses as two way counts. Tokens before the
+  // first key are capacities.
+  std::string Key = "";
+  std::istringstream IS(Spec);
+  std::string Tok;
+  while (std::getline(IS, Tok, ',')) {
+    if (Tok.empty())
+      return failMsg(Err, "empty token in grid spec '" + Spec + "'");
+    size_t Eq = Tok.find('=');
+    std::string Val = Tok;
+    if (Eq != std::string::npos) {
+      Key = Tok.substr(0, Eq);
+      Val = Tok.substr(Eq + 1);
+      if (Key != "assoc" && Key != "policy" && Key != "block")
+        return failMsg(Err, "unknown grid key '" + Key +
+                                "' (expected assoc, policy or block)");
+    }
+    if (Key.empty()) {
+      if (!appendSizes(Val, G.SizesBytes, Err))
+        return false;
+    } else if (Key == "assoc") {
+      // 0 is the internal fully-associative sentinel; users must spell
+      // it "full" (a bare 0 is a typo everywhere else in the CLI).
+      uint64_t A = 0;
+      if (toLowerAscii(Val) != "full" &&
+          (!parseUInt64(Val, A, 4096) || A == 0))
+        return failMsg(Err, "bad associativity '" + Val +
+                                "' (expected a way count or 'full')");
+      G.Assocs.push_back(static_cast<unsigned>(A));
+    } else if (Key == "policy") {
+      PolicyKind P;
+      if (!parsePolicyName(Val, P))
+        return failMsg(Err, "unknown policy '" + Val + "'");
+      G.Policies.push_back(P);
+    } else { // block
+      if (BlockSet)
+        return failMsg(Err, "block takes a single value");
+      uint64_t B;
+      if (!parseByteSize(Val, B, 1u << 20))
+        return failMsg(Err, "bad block size '" + Val + "'");
+      G.BlockBytes = static_cast<unsigned>(B);
+      BlockSet = true;
+    }
+  }
+  if (G.SizesBytes.empty())
+    return failMsg(Err, "grid spec '" + Spec + "' names no capacity");
+  if (G.Assocs.empty())
+    G.Assocs.push_back(8);
+  if (G.Policies.empty())
+    G.Policies.push_back(PolicyKind::Lru);
+  Out = std::move(G);
+  return true;
+}
+
+namespace {
+
+/// Expands one level grid into cache configs (assoc 0 = fully
+/// associative, resolved per capacity).
+bool expandLevel(const SweepLevelGrid &G, std::vector<CacheConfig> &Out,
+                 std::string *Err) {
+  for (uint64_t Size : G.SizesBytes)
+    for (unsigned A : G.Assocs)
+      for (PolicyKind P : G.Policies) {
+        CacheConfig C;
+        C.SizeBytes = Size;
+        C.BlockBytes = G.BlockBytes;
+        if (A == 0) {
+          uint64_t Lines = Size / G.BlockBytes;
+          if (Lines == 0 || Lines > 4096)
+            return failMsg(Err, "fully-associative point of " +
+                                    std::to_string(Size) +
+                                    " bytes needs " + std::to_string(Lines) +
+                                    " ways (supported: 1 to 4096)");
+          C.Assoc = static_cast<unsigned>(Lines);
+        } else {
+          C.Assoc = A;
+        }
+        C.Policy = P;
+        std::string E = C.validate();
+        if (!E.empty())
+          return failMsg(Err, "invalid sweep point " + C.str() + ": " + E);
+        Out.push_back(C);
+      }
+  return true;
+}
+
+} // namespace
+
+bool wcs::expandSweepGrid(const SweepLevelGrid &L1, const SweepLevelGrid *L2,
+                          InclusionPolicy Inclusion,
+                          std::vector<HierarchyConfig> &Out,
+                          std::string *Err) {
+  std::vector<CacheConfig> C1, C2;
+  if (!expandLevel(L1, C1, Err))
+    return false;
+  if (L2 && !expandLevel(*L2, C2, Err))
+    return false;
+  for (const CacheConfig &A : C1) {
+    if (!L2) {
+      Out.push_back(HierarchyConfig::singleLevel(A));
+      continue;
+    }
+    for (const CacheConfig &B : C2) {
+      HierarchyConfig H = HierarchyConfig::twoLevel(A, B, Inclusion);
+      std::string E = H.validate();
+      if (!E.empty())
+        return failMsg(Err, "invalid sweep point " + H.str() + ": " + E);
+      Out.push_back(std::move(H));
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The sweep driver
+//===----------------------------------------------------------------------===//
+
+bool SweepReport::allOk() const {
+  for (const SweepPoint &P : Points)
+    if (!P.Ok)
+      return false;
+  return true;
+}
+
+std::string SweepReport::summary() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%zu points: %zu from one stack-distance pass (%u banks, "
+                "%.3f s), %zu simulated as %zu jobs (%zu deduped) on %u "
+                "threads; %.3f s total",
+                Points.size(), StackDistancePoints, NumBanks,
+                TracePassSeconds, Points.size() - StackDistancePoints,
+                SimulatedJobs, DedupedPoints, Threads, WallSeconds);
+  return Buf;
+}
+
+SweepReport wcs::runSweep(const ScopProgram &Program,
+                          const std::vector<HierarchyConfig> &Configs,
+                          const SweepOptions &Opts) {
+  auto T0 = std::chrono::steady_clock::now();
+  SweepReport Rep;
+  Rep.Points.resize(Configs.size());
+
+  // Partition the grid. Fast path: single-level write-allocate LRU,
+  // answerable from a per-set stack-distance bank keyed on (block size,
+  // set count). Everything else becomes a simulation job, deduplicated
+  // by exact configuration.
+  std::vector<SetDistanceBank> Banks;
+  std::map<std::pair<unsigned, unsigned>, size_t> BankIndex;
+  struct FastPoint {
+    size_t Point;
+    size_t Bank;
+  };
+  std::vector<FastPoint> Fast;
+  std::vector<BatchJob> Jobs;
+  std::vector<std::vector<size_t>> JobPoints; ///< Job -> input indices.
+  std::map<std::string, size_t> JobIndex;     ///< Config key -> job.
+
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    const HierarchyConfig &H = Configs[I];
+    SweepPoint &P = Rep.Points[I];
+    P.Cache = H;
+    std::string CfgErr = H.validate();
+    if (!CfgErr.empty()) {
+      P.Error = CfgErr;
+      continue;
+    }
+    const CacheConfig &L1 = H.Levels.front();
+    if (H.numLevels() == 1 && L1.Policy == PolicyKind::Lru &&
+        L1.WriteAlloc == WriteAllocate::Yes) {
+      P.Method = SweepMethod::StackDistance;
+      P.Backend = SimBackend::StackDistance;
+      auto Key = std::make_pair(L1.BlockBytes, L1.numSets());
+      auto It = BankIndex.find(Key);
+      if (It == BankIndex.end()) {
+        It = BankIndex.emplace(Key, Banks.size()).first;
+        Banks.emplace_back(L1.BlockBytes, L1.numSets());
+      }
+      Fast.push_back(FastPoint{I, It->second});
+      continue;
+    }
+    P.Method = SweepMethod::Simulated;
+    P.Backend = Opts.Backend;
+    std::string Key = toJson(H).dump(false);
+    auto It = JobIndex.find(Key);
+    if (It == JobIndex.end()) {
+      It = JobIndex.emplace(std::move(Key), Jobs.size()).first;
+      BatchJob J;
+      J.Program = &Program;
+      J.Cache = H;
+      J.Options = Opts.Sim;
+      J.Backend = Opts.Backend;
+      J.Tag = H.str();
+      Jobs.push_back(std::move(J));
+      JobPoints.emplace_back();
+    } else {
+      ++Rep.DedupedPoints;
+    }
+    JobPoints[It->second].push_back(I);
+  }
+  Rep.NumBanks = static_cast<unsigned>(Banks.size());
+  Rep.StackDistancePoints = Fast.size();
+  Rep.SimulatedJobs = Jobs.size();
+
+  // The shared trace pass: generated once, feeding every bank.
+  if (!Banks.empty()) {
+    auto P0 = std::chrono::steady_clock::now();
+    TraceOptions TO;
+    TO.IncludeScalars = Opts.Sim.IncludeScalars;
+    Rep.TraceAccesses =
+        generateTrace(Program, TO, [&](const TraceRecord &R) {
+          for (SetDistanceBank &B : Banks)
+            B.accessAddr(R.Addr);
+        });
+    Rep.TracePassSeconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - P0)
+                               .count();
+  }
+
+  // Fan the simulated partition across the workers.
+  Rep.Threads = 1;
+  if (!Jobs.empty()) {
+    BatchRunner Runner(Opts.Threads);
+    Rep.Threads = Runner.threads();
+    BatchReport BRep = Runner.run(Jobs);
+    for (size_t J = 0; J < Jobs.size(); ++J)
+      for (size_t I : JobPoints[J]) {
+        SweepPoint &P = Rep.Points[I];
+        P.Ok = BRep.Results[J].Ok;
+        P.Error = BRep.Results[J].Error;
+        P.Stats = BRep.Results[J].Stats;
+      }
+  }
+
+  // Answer the fast-path points from the histograms. The pass cost is
+  // attributed in equal shares: it is the only cost these points have,
+  // and the shares sum back to the true pass time.
+  double Share =
+      Fast.empty() ? 0.0 : Rep.TracePassSeconds / static_cast<double>(
+                                                      Fast.size());
+  for (const FastPoint &F : Fast) {
+    SweepPoint &P = Rep.Points[F.Point];
+    const SetDistanceBank &Bank = Banks[F.Bank];
+    P.Stats.NumLevels = 1;
+    P.Stats.Level[0].Accesses = Bank.totalAccesses();
+    P.Stats.Level[0].Misses =
+        Bank.missesForCache(P.Cache.Levels.front());
+    P.Stats.SimulatedAccesses = Bank.totalAccesses();
+    P.Stats.Seconds = Share;
+    P.Ok = true;
+  }
+
+  Rep.WallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+  return Rep;
+}
+
+//===----------------------------------------------------------------------===//
+// The wcs-sweep document
+//===----------------------------------------------------------------------===//
+
+Value wcs::toJson(const SweepPoint &P) {
+  Value V = Value::object();
+  V.set("cache", toJson(P.Cache));
+  V.set("method", sweepMethodName(P.Method));
+  V.set("backend", backendName(P.Backend));
+  V.set("ok", P.Ok);
+  V.set("error", P.Error);
+  V.set("stats", toJson(P.Stats));
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, SweepPoint &Out, std::string *Err) {
+  std::string Method, Backend;
+  const Value *Cache, *Stats;
+  if (!needMember(V, "cache", Cache, Err) ||
+      !fromJson(*Cache, Out.Cache, Err) ||
+      !needString(V, "method", Method, Err) ||
+      !needString(V, "backend", Backend, Err) ||
+      !needBool(V, "ok", Out.Ok, Err) ||
+      !needString(V, "error", Out.Error, Err) ||
+      !needMember(V, "stats", Stats, Err) ||
+      !fromJson(*Stats, Out.Stats, Err))
+    return false;
+  if (!parseSweepMethodName(Method, Out.Method))
+    return failMsg(Err, "unknown sweep method '" + Method + "'");
+  if (!parseBackendName(Backend, Out.Backend))
+    return failMsg(Err, "unknown backend '" + Backend + "'");
+  return true;
+}
+
+Value wcs::toJson(const SweepDoc &D) {
+  Value V = Value::object();
+  V.set("schema", SweepSchemaName);
+  V.set("schema_version", SweepSchemaVersion);
+  V.set("tool", D.Tool);
+  V.set("program", D.Program);
+  V.set("size", D.SizeName);
+  V.set("threads", D.Threads);
+  V.set("trace_pass_seconds", D.TracePassSeconds);
+  V.set("trace_accesses", D.TraceAccesses);
+  V.set("simulated_jobs", static_cast<uint64_t>(D.SimulatedJobs));
+  V.set("deduped_points", static_cast<uint64_t>(D.DedupedPoints));
+  Value Points = Value::array();
+  for (const SweepPoint &P : D.Points)
+    Points.push(toJson(P));
+  V.set("points", std::move(Points));
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, SweepDoc &Out, std::string *Err) {
+  std::string Schema;
+  int64_t Version;
+  if (!needString(V, "schema", Schema, Err) ||
+      !needInt(V, "schema_version", Version, Err))
+    return false;
+  if (Schema != SweepSchemaName)
+    return failMsg(Err, "not a " + std::string(SweepSchemaName) +
+                            " file (schema '" + Schema + "')");
+  if (Version != SweepSchemaVersion) {
+    std::ostringstream OS;
+    OS << "unsupported schema version " << Version << " (this reader speaks "
+       << SweepSchemaVersion << ")";
+    return failMsg(Err, OS.str());
+  }
+  uint64_t SimJobs, Deduped;
+  const Value *Points;
+  if (!needString(V, "tool", Out.Tool, Err) ||
+      !needString(V, "program", Out.Program, Err) ||
+      !needString(V, "size", Out.SizeName, Err) ||
+      !needU32(V, "threads", Out.Threads, Err) ||
+      !needDouble(V, "trace_pass_seconds", Out.TracePassSeconds, Err) ||
+      !needUInt(V, "trace_accesses", Out.TraceAccesses, Err) ||
+      !needUInt(V, "simulated_jobs", SimJobs, Err) ||
+      !needUInt(V, "deduped_points", Deduped, Err) ||
+      !needArray(V, "points", Points, Err))
+    return false;
+  Out.SimulatedJobs = static_cast<size_t>(SimJobs);
+  Out.DedupedPoints = static_cast<size_t>(Deduped);
+  Out.Points.clear();
+  Out.Points.reserve(Points->size());
+  for (size_t N = 0; N < Points->size(); ++N) {
+    SweepPoint P;
+    if (!fromJson(Points->at(N), P, Err)) {
+      if (Err) {
+        std::ostringstream OS;
+        OS << "point " << N << ": " << *Err;
+        *Err = OS.str();
+      }
+      return false;
+    }
+    Out.Points.push_back(std::move(P));
+  }
+  return true;
+}
+
+bool wcs::writeSweepFile(const std::string &Path, const SweepDoc &D,
+                         std::string *Err) {
+  return json::writeFile(Path, toJson(D), Err);
+}
+
+bool wcs::readSweepFile(const std::string &Path, SweepDoc &Out,
+                        std::string *Err) {
+  Value V;
+  if (!json::readFile(Path, V, Err))
+    return false;
+  std::string ParseErr;
+  if (!fromJson(V, Out, &ParseErr)) {
+    if (Err)
+      *Err = Path + ": " + ParseErr;
+    return false;
+  }
+  return true;
+}
+
+SweepDoc wcs::makeSweepDoc(std::string Tool, std::string Program,
+                           std::string SizeName, const SweepReport &Report) {
+  SweepDoc D;
+  D.Tool = std::move(Tool);
+  D.Program = std::move(Program);
+  D.SizeName = std::move(SizeName);
+  D.Threads = Report.Threads;
+  D.TracePassSeconds = Report.TracePassSeconds;
+  D.TraceAccesses = Report.TraceAccesses;
+  D.SimulatedJobs = Report.SimulatedJobs;
+  D.DedupedPoints = Report.DedupedPoints;
+  D.Points = Report.Points;
+  return D;
+}

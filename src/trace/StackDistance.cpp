@@ -10,13 +10,20 @@
 #include "wcs/support/MathUtil.h"
 #include "wcs/trace/TraceGenerator.h"
 
+#include <cassert>
 #include <chrono>
 
 using namespace wcs;
 
-StackDistanceProfiler::StackDistanceProfiler(unsigned BlockBytes)
+StackDistanceProfiler::StackDistanceProfiler(unsigned BlockBytes,
+                                             size_t InitialTreeCapacity)
     : BlockShift(log2Exact(BlockBytes)) {
-  Bit.resize(1024, 0);
+  // The growth step in bitAdd doubles and seeds the new root with the
+  // tree total, which is only correct when the size is a power of two.
+  size_t Cap = 2;
+  while (Cap < InitialTreeCapacity)
+    Cap *= 2;
+  Bit.resize(Cap, 0);
 }
 
 void StackDistanceProfiler::bitAdd(uint64_t Pos, int64_t Val) {
@@ -69,6 +76,35 @@ uint64_t StackDistanceProfiler::missesForAssoc(uint64_t Assoc) const {
   return M;
 }
 
+SetDistanceBank::SetDistanceBank(unsigned BlockBytes, unsigned NumSets)
+    : BlockShift(log2Exact(BlockBytes)), SetMask(NumSets - 1) {
+  assert(NumSets != 0 && (NumSets & (NumSets - 1)) == 0 &&
+         "set count must be a power of two (modulo placement)");
+  // Small initial trees: a bank with thousands of sets would otherwise
+  // pay 8 KiB per set before the first access.
+  Sets.reserve(NumSets);
+  for (unsigned S = 0; S < NumSets; ++S)
+    Sets.emplace_back(BlockBytes, NumSets > 1 ? 64 : 1024);
+}
+
+uint64_t SetDistanceBank::missesForAssoc(uint64_t Assoc) const {
+  uint64_t M = 0;
+  for (const StackDistanceProfiler &P : Sets)
+    M += P.missesForAssoc(Assoc);
+  return M;
+}
+
+bool SetDistanceBank::matches(const CacheConfig &C) const {
+  return C.Policy == PolicyKind::Lru &&
+         C.WriteAlloc == WriteAllocate::Yes &&
+         C.BlockBytes == blockBytes() && C.numSets() == numSets();
+}
+
+uint64_t SetDistanceBank::missesForCache(const CacheConfig &C) const {
+  assert(matches(C) && "config does not match the bank geometry");
+  return missesForAssoc(C.Assoc);
+}
+
 StackDistanceProfiler wcs::profileProgram(const ScopProgram &Program,
                                           unsigned BlockBytes,
                                           bool IncludeScalars,
@@ -85,4 +121,23 @@ StackDistanceProfiler wcs::profileProgram(const ScopProgram &Program,
                                       Start)
             .count();
   return Prof;
+}
+
+SetDistanceBank wcs::profileProgramSets(const ScopProgram &Program,
+                                        unsigned BlockBytes,
+                                        unsigned NumSets,
+                                        bool IncludeScalars,
+                                        double *Seconds) {
+  auto Start = std::chrono::steady_clock::now();
+  SetDistanceBank Bank(BlockBytes, NumSets);
+  TraceOptions TO;
+  TO.IncludeScalars = IncludeScalars;
+  generateTrace(Program, TO,
+                [&](const TraceRecord &R) { Bank.accessAddr(R.Addr); });
+  if (Seconds)
+    *Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  return Bank;
 }

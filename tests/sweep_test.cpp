@@ -1,0 +1,299 @@
+//===- tests/sweep_test.cpp - Sweep-driver cross-checks -------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// The sweep driver's contract is bit-identity: every grid point --
+// whether answered from the shared stack-distance pass or from a
+// deduplicated simulation job -- must report exactly the counters an
+// independent per-config simulation of that point produces. The
+// property suite enforces this across random programs, capacities,
+// associativities and all four replacement policies, plus grid-syntax,
+// dedup and wcs-sweep document round-trip checks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "wcs/driver/Sweep.h"
+#include "wcs/sim/ConcreteSimulator.h"
+#include "wcs/trace/StackDistance.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace wcs;
+using testutil::generateProgram;
+
+namespace {
+
+/// Sweep \p Configs over \p P and require every point to match an
+/// independent ConcreteSimulator run bit for bit.
+void expectSweepMatchesConcrete(const ScopProgram &P,
+                                const std::vector<HierarchyConfig> &Configs,
+                                unsigned Threads) {
+  SweepOptions SO;
+  SO.Threads = Threads;
+  SweepReport Rep = runSweep(P, Configs, SO);
+  ASSERT_EQ(Rep.Points.size(), Configs.size());
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    const SweepPoint &Pt = Rep.Points[I];
+    ASSERT_TRUE(Pt.Ok) << Configs[I].str() << ": " << Pt.Error;
+    ConcreteSimulator Sim(P, Configs[I]);
+    SimStats Ref = Sim.run();
+    ASSERT_EQ(Pt.Stats.NumLevels, Ref.NumLevels) << Configs[I].str();
+    for (unsigned L = 0; L < Ref.NumLevels; ++L) {
+      EXPECT_EQ(Pt.Stats.Level[L].Accesses, Ref.Level[L].Accesses)
+          << Configs[I].str() << " level " << L << "\n"
+          << P.str();
+      EXPECT_EQ(Pt.Stats.Level[L].Misses, Ref.Level[L].Misses)
+          << Configs[I].str() << " level " << L << " ("
+          << sweepMethodName(Pt.Method) << ")\n"
+          << P.str();
+    }
+  }
+}
+
+/// The headline property: random programs x random geometries x all
+/// four policies, fast path and simulated partition alike.
+TEST(Sweep, MatchesConcretePerConfigAllPolicies) {
+  std::mt19937 Rng(20220613);
+  const PolicyKind Policies[] = {PolicyKind::Lru, PolicyKind::Fifo,
+                                 PolicyKind::Plru, PolicyKind::QuadAgeLru};
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    ScopProgram P = generateProgram(Rng);
+    auto Rand = [&](int Lo, int Hi) {
+      return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+    };
+    std::vector<HierarchyConfig> Grid;
+    for (PolicyKind K : Policies)
+      for (int N = 0; N < 3; ++N) {
+        CacheConfig C;
+        C.BlockBytes = 64;
+        C.Assoc = 1u << Rand(0, 3);      // 1..8 ways (PLRU-safe).
+        unsigned Sets = 1u << Rand(0, 4); // 1..16 sets.
+        C.SizeBytes = static_cast<uint64_t>(C.Assoc) * Sets * 64;
+        C.Policy = K;
+        ASSERT_EQ(C.validate(), "");
+        Grid.push_back(HierarchyConfig::singleLevel(C));
+      }
+    expectSweepMatchesConcrete(P, Grid, /*Threads=*/2);
+  }
+}
+
+/// Capacity axis of the fast path: fully-associative LRU points of many
+/// capacities share one bank; set-associative points get per-set banks.
+TEST(Sweep, MatchesConcreteAcrossLruCapacities) {
+  std::mt19937 Rng(7);
+  ScopProgram P = generateProgram(Rng);
+  std::vector<HierarchyConfig> Grid;
+  for (uint64_t Bytes = 64; Bytes <= 8192; Bytes *= 2) {
+    CacheConfig FA;
+    FA.BlockBytes = 64;
+    FA.SizeBytes = Bytes;
+    FA.Assoc = static_cast<unsigned>(Bytes / 64);
+    Grid.push_back(HierarchyConfig::singleLevel(FA));
+    CacheConfig SA = FA;
+    SA.Assoc = std::min<unsigned>(FA.Assoc, 4); // >1 set beyond 256 B.
+    Grid.push_back(HierarchyConfig::singleLevel(SA));
+  }
+  SweepOptions SO;
+  SweepReport Rep = runSweep(P, Grid, SO);
+  for (const SweepPoint &Pt : Rep.Points)
+    EXPECT_EQ(Pt.Method, SweepMethod::StackDistance) << Pt.Cache.str();
+  expectSweepMatchesConcrete(P, Grid, /*Threads=*/1);
+}
+
+/// Two-level points take the simulated partition and still match.
+TEST(Sweep, MatchesConcreteTwoLevel) {
+  std::mt19937 Rng(99);
+  ScopProgram P = generateProgram(Rng);
+  std::vector<HierarchyConfig> Grid;
+  Grid.push_back(testutil::randomHierarchy(Rng, PolicyKind::Lru, true));
+  Grid.push_back(testutil::randomHierarchy(Rng, PolicyKind::Fifo, true));
+  expectSweepMatchesConcrete(P, Grid, /*Threads=*/2);
+}
+
+TEST(Sweep, PartitionAndProvenance) {
+  std::mt19937 Rng(3);
+  ScopProgram P = generateProgram(Rng);
+  CacheConfig Lru{4096, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig LruNwa = Lru;
+  LruNwa.WriteAlloc = WriteAllocate::No;
+  CacheConfig Plru = Lru;
+  Plru.Policy = PolicyKind::Plru;
+  std::vector<HierarchyConfig> Grid = {
+      HierarchyConfig::singleLevel(Lru),
+      HierarchyConfig::singleLevel(LruNwa),
+      HierarchyConfig::singleLevel(Plru),
+      HierarchyConfig::singleLevel(Plru), // Duplicate: must dedup.
+  };
+  SweepOptions SO;
+  SweepReport Rep = runSweep(P, Grid, SO);
+  ASSERT_TRUE(Rep.allOk());
+  // Write-allocate LRU is analytical; no-write-allocate LRU and PLRU
+  // must simulate (a non-allocating write miss leaves the stack
+  // untouched in hardware but not in the histogram).
+  EXPECT_EQ(Rep.Points[0].Method, SweepMethod::StackDistance);
+  EXPECT_EQ(Rep.Points[0].Backend, SimBackend::StackDistance);
+  EXPECT_EQ(Rep.Points[1].Method, SweepMethod::Simulated);
+  EXPECT_EQ(Rep.Points[2].Method, SweepMethod::Simulated);
+  EXPECT_EQ(Rep.StackDistancePoints, 1u);
+  EXPECT_EQ(Rep.SimulatedJobs, 2u);
+  EXPECT_EQ(Rep.DedupedPoints, 1u);
+  // The deduplicated twin reports the shared job's counters.
+  EXPECT_EQ(Rep.Points[3].Stats.Level[0].Misses,
+            Rep.Points[2].Stats.Level[0].Misses);
+  EXPECT_EQ(Rep.Points[3].Stats.Level[0].Accesses,
+            Rep.Points[2].Stats.Level[0].Accesses);
+}
+
+TEST(Sweep, BankDegeneratesToFullyAssociativeProfiler) {
+  std::mt19937 Rng(11);
+  ScopProgram P = generateProgram(Rng);
+  StackDistanceProfiler Prof = profileProgram(P, 64, false);
+  SetDistanceBank Bank = profileProgramSets(P, 64, 1, false);
+  ASSERT_EQ(Bank.totalAccesses(), Prof.totalAccesses());
+  for (uint64_t A : {1u, 2u, 8u, 64u})
+    EXPECT_EQ(Bank.missesForAssoc(A), Prof.missesForAssoc(A)) << A;
+}
+
+//===----------------------------------------------------------------------===//
+// Grid syntax
+//===----------------------------------------------------------------------===//
+
+TEST(SweepGrid, ParsesRangesAndKeys) {
+  SweepLevelGrid G;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid("8K:256K:x2,assoc=4,8", G, &Err)) << Err;
+  ASSERT_EQ(G.SizesBytes.size(), 6u);
+  EXPECT_EQ(G.SizesBytes.front(), 8u * 1024);
+  EXPECT_EQ(G.SizesBytes.back(), 256u * 1024);
+  ASSERT_EQ(G.Assocs.size(), 2u);
+  EXPECT_EQ(G.Assocs[0], 4u);
+  EXPECT_EQ(G.Assocs[1], 8u);
+  ASSERT_EQ(G.Policies.size(), 1u); // Defaulted.
+  EXPECT_EQ(G.Policies[0], PolicyKind::Lru);
+  EXPECT_EQ(G.BlockBytes, 64u);
+
+  std::vector<HierarchyConfig> Grid;
+  ASSERT_TRUE(expandSweepGrid(
+      G, nullptr, InclusionPolicy::NonInclusiveNonExclusive, Grid, &Err))
+      << Err;
+  EXPECT_EQ(Grid.size(), 12u); // 6 capacities x 2 way counts.
+}
+
+TEST(SweepGrid, ParsesFullAssocPoliciesAndBlock) {
+  SweepLevelGrid G;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid(
+      "1K,4096,assoc=full,policy=lru,qlru,block=128", G, &Err))
+      << Err;
+  ASSERT_EQ(G.SizesBytes.size(), 2u);
+  EXPECT_EQ(G.SizesBytes[1], 4096u);
+  ASSERT_EQ(G.Assocs.size(), 1u);
+  EXPECT_EQ(G.Assocs[0], 0u); // 0 encodes fully associative.
+  ASSERT_EQ(G.Policies.size(), 2u);
+  EXPECT_EQ(G.BlockBytes, 128u);
+
+  // Expansion resolves assoc=full per capacity: 1K/128B = 8 ways.
+  G.Policies = {PolicyKind::Lru};
+  std::vector<HierarchyConfig> Grid;
+  ASSERT_TRUE(expandSweepGrid(
+      G, nullptr, InclusionPolicy::NonInclusiveNonExclusive, Grid, &Err))
+      << Err;
+  ASSERT_EQ(Grid.size(), 2u);
+  EXPECT_EQ(Grid[0].Levels[0].Assoc, 8u);
+  EXPECT_TRUE(Grid[0].Levels[0].isFullyAssociative());
+}
+
+TEST(SweepGrid, RejectsMalformedSpecs) {
+  SweepLevelGrid G;
+  std::string Err;
+  EXPECT_FALSE(parseSweepLevelGrid("", G, &Err));
+  EXPECT_FALSE(parseSweepLevelGrid("assoc=4", G, &Err)); // No capacity.
+  EXPECT_FALSE(parseSweepLevelGrid("8K:1K:x2", G, &Err)); // Empty range.
+  EXPECT_FALSE(parseSweepLevelGrid("1K:8K:x1", G, &Err)); // Step < 2.
+  EXPECT_FALSE(parseSweepLevelGrid("1K:8K:2", G, &Err));  // Missing 'x'.
+  EXPECT_FALSE(parseSweepLevelGrid("4K,ways=2", G, &Err)); // Unknown key.
+  EXPECT_FALSE(parseSweepLevelGrid("4K,assoc=nope", G, &Err));
+  EXPECT_FALSE(parseSweepLevelGrid("4K,assoc=0", G, &Err)); // Not 'full'.
+  EXPECT_FALSE(parseSweepLevelGrid("4K,policy=mru", G, &Err));
+  EXPECT_FALSE(parseSweepLevelGrid("4K,block=64,128", G, &Err));
+  EXPECT_FALSE(parseSweepLevelGrid("4K,,8K", G, &Err)); // Empty token.
+}
+
+TEST(SweepGrid, ExpansionRejectsInvalidPoints) {
+  SweepLevelGrid G;
+  std::string Err;
+  // 1K at 8 ways x 128 B blocks: 1024 / (8*128) = 1 set, fine; but PLRU
+  // with 3 ways is invalid.
+  ASSERT_TRUE(parseSweepLevelGrid("1K,assoc=3,policy=plru", G, &Err));
+  std::vector<HierarchyConfig> Grid;
+  EXPECT_FALSE(expandSweepGrid(
+      G, nullptr, InclusionPolicy::NonInclusiveNonExclusive, Grid, &Err));
+  EXPECT_NE(Err.find("PLRU"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// The wcs-sweep document
+//===----------------------------------------------------------------------===//
+
+TEST(SweepDoc, RoundTripsExactly) {
+  std::mt19937 Rng(5);
+  ScopProgram P = generateProgram(Rng);
+  CacheConfig Lru{2048, 4, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig Fifo = Lru;
+  Fifo.Policy = PolicyKind::Fifo;
+  std::vector<HierarchyConfig> Grid = {
+      HierarchyConfig::singleLevel(Lru),
+      HierarchyConfig::singleLevel(Fifo),
+  };
+  SweepOptions SO;
+  SweepReport Rep = runSweep(P, Grid, SO);
+  ASSERT_TRUE(Rep.allOk());
+  SweepDoc Doc = makeSweepDoc("wcs-sim", "random", "SMALL", Rep);
+
+  json::Value V = toJson(Doc);
+  std::string Text = V.dump();
+  json::Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, Parsed, &Err)) << Err;
+  SweepDoc Back;
+  ASSERT_TRUE(fromJson(Parsed, Back, &Err)) << Err;
+
+  EXPECT_EQ(Back.Tool, "wcs-sim");
+  EXPECT_EQ(Back.Program, "random");
+  EXPECT_EQ(Back.SizeName, "SMALL");
+  EXPECT_EQ(Back.TraceAccesses, Doc.TraceAccesses);
+  ASSERT_EQ(Back.Points.size(), 2u);
+  EXPECT_EQ(Back.Points[0].Method, SweepMethod::StackDistance);
+  EXPECT_EQ(Back.Points[0].Backend, SimBackend::StackDistance);
+  EXPECT_EQ(Back.Points[1].Method, SweepMethod::Simulated);
+  for (size_t I = 0; I < 2; ++I) {
+    EXPECT_EQ(Back.Points[I].Stats.Level[0].Misses,
+              Rep.Points[I].Stats.Level[0].Misses);
+    EXPECT_EQ(Back.Points[I].Cache.str(), Grid[I].str());
+  }
+  // Serialization is deterministic: a round trip reproduces the text.
+  EXPECT_EQ(toJson(Back).dump(), Text);
+}
+
+TEST(SweepDoc, RejectsWrongSchemaAndVersion) {
+  SweepDoc D;
+  json::Value V = toJson(D);
+  SweepDoc Out;
+  std::string Err;
+
+  json::Value Wrong = V;
+  Wrong.set("schema", "wcs-results");
+  EXPECT_FALSE(fromJson(Wrong, Out, &Err));
+  EXPECT_NE(Err.find("schema"), std::string::npos);
+
+  json::Value Future = V;
+  Future.set("schema_version", SweepSchemaVersion + 1);
+  EXPECT_FALSE(fromJson(Future, Out, &Err));
+  EXPECT_NE(Err.find("version"), std::string::npos);
+}
+
+} // namespace

@@ -23,6 +23,7 @@
 #include "wcs/driver/Results.h"
 #include "wcs/support/Stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +52,30 @@ uint64_t totalMisses(const SimStats &S) {
   for (unsigned L = 0; L < S.NumLevels; ++L)
     M += S.Level[L].Misses;
   return M;
+}
+
+/// Wall-time floor for the time gate. Tiny --size small entries on fast
+/// runners can legitimately measure 0 s; feeding that into the
+/// current/baseline ratio would divide by zero (and a 0-vs-0 pair would
+/// put NaN into the geomean, silently disabling the gate). Clamping to
+/// a nanosecond keeps every compared entry in the gate with a finite,
+/// bounded contribution.
+constexpr double MinGateSeconds = 1e-9;
+/// Per-entry ratio clamp: one degenerate timing must not be able to
+/// move the geomean by more than 1000x in either direction.
+constexpr double MaxGateRatio = 1e3;
+
+/// Clamps one entry's wall time for the time gate; returns true (and
+/// warns once) when clamping was needed.
+bool clampSeconds(const char *Tag, const char *Which, double &S) {
+  if (std::isfinite(S) && S >= MinGateSeconds)
+    return false;
+  std::fprintf(stderr,
+               "warning: %s: %s wall time %g s is zero or non-finite; "
+               "clamping to %g s for the time gate\n",
+               Tag, Which, S, MinGateSeconds);
+  S = MinGateSeconds;
+  return true;
 }
 
 /// True when the two runs produced identical counters (everything except
@@ -164,11 +189,16 @@ int main(int argc, char **argv) {
       ++Drifted;
     int64_t MissDelta = static_cast<int64_t>(totalMisses(C->Stats)) -
                         static_cast<int64_t>(totalMisses(B.Stats));
-    double Ratio = 0.0;
-    if (B.Stats.Seconds > 0 && C->Stats.Seconds > 0) {
-      Ratio = C->Stats.Seconds / B.Stats.Seconds;
-      RatioMean.add(Ratio);
-    }
+    // Every compared entry feeds the time gate: degenerate timings are
+    // clamped (with a warning) instead of silently dropped or allowed
+    // to poison the geomean with NaN.
+    double BaseS = B.Stats.Seconds, CurS = C->Stats.Seconds;
+    bool Clamped = clampSeconds(B.Tag.c_str(), "baseline", BaseS);
+    Clamped |= clampSeconds(B.Tag.c_str(), "current", CurS);
+    double Ratio = CurS / BaseS;
+    if (Clamped)
+      Ratio = std::min(std::max(Ratio, 1.0 / MaxGateRatio), MaxGateRatio);
+    RatioMean.add(Ratio);
     if (!Quiet || !Equal)
       std::printf("%-40s %14llu %11lld %10.4f %10.4f %8.2fx%s\n",
                   B.Tag.c_str(),

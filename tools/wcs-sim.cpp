@@ -13,15 +13,20 @@
 //           --l2 32768,16,qlru
 //   wcs-sim --kernel gemm --compare
 //   wcs-sim --all --size medium --jobs 8
+//   wcs-sim --kernel gemm --sweep --sweep-l1 8K:256K:x2,assoc=4,8
 //
 // Simulation runs through the wcs::BatchRunner driver: --all sweeps the
 // whole PolyBench registry as one batch and --jobs N fans the jobs over
-// N worker threads (counters are identical for every N).
+// N worker threads (counters are identical for every N). --sweep
+// evaluates a whole grid of cache configurations through the sweep
+// driver instead: LRU points are answered from one shared
+// stack-distance pass, the rest are deduplicated simulation jobs.
 //
 //===----------------------------------------------------------------------===//
 
 #include "wcs/driver/BatchRunner.h"
 #include "wcs/driver/Results.h"
+#include "wcs/driver/Sweep.h"
 #include "wcs/frontend/Frontend.h"
 #include "wcs/polybench/Polybench.h"
 #include "wcs/support/StringUtil.h"
@@ -58,6 +63,19 @@ void usage() {
       "  --json FILE           also write the results as JSON "
       "(wcs-results schema;\n"
       "                        feed two such files to wcs-report)\n"
+      "  --sweep               sweep a grid of cache configs in one run\n"
+      "                        (single-level LRU points share one\n"
+      "                        stack-distance pass; the rest simulate)\n"
+      "  --sweep-l1 GRID       L1 grid: SIZES[,assoc=A,..][,policy=P,..]"
+      "[,block=N]\n"
+      "                        SIZES: capacities (8K) and/or ranges "
+      "LO:HI:xF;\n"
+      "                        assoc also takes 'full' "
+      "(default 8K:256K:x2,assoc=8)\n"
+      "  --sweep-l2 GRID       add an L2 axis (cross product with the L1 "
+      "grid)\n"
+      "  --sweep-json FILE     write the sweep as JSON (wcs-sweep "
+      "schema)\n"
       "  --jobs N              simulate on N worker threads "
       "(default 1; 0 = all cores)\n"
       "  --dump                print the program tree before simulating\n"
@@ -106,7 +124,11 @@ int main(int argc, char **argv) {
   std::map<std::string, int64_t> Params;
   CacheConfig L1{4096, 8, 64, PolicyKind::Plru, WriteAllocate::Yes};
   CacheConfig L2;
-  bool HasL2 = false, All = false, Compare = false, Dump = false;
+  bool Sweep = false;
+  std::string SweepL1Spec = "8K:256K:x2,assoc=8", SweepL2Spec,
+      SweepJsonPath;
+  bool HasL2 = false, HasL1 = false, NoWriteAlloc = false;
+  bool All = false, Compare = false, Dump = false;
   SimBackend Backend = SimBackend::Warping;
   bool BackendSet = false;
   unsigned Jobs = 1;
@@ -144,6 +166,17 @@ int main(int argc, char **argv) {
       File = Next();
     } else if (A == "--json") {
       JsonPath = Next();
+    } else if (A == "--sweep") {
+      Sweep = true;
+    } else if (A == "--sweep-l1") {
+      SweepL1Spec = Next();
+      Sweep = true;
+    } else if (A == "--sweep-l2") {
+      SweepL2Spec = Next();
+      Sweep = true;
+    } else if (A == "--sweep-json") {
+      SweepJsonPath = Next();
+      Sweep = true;
     } else if (A == "--size") {
       if (!parseProblemSize(Next(), Size)) {
         std::fprintf(stderr, "error: unknown size\n");
@@ -166,6 +199,7 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "error: bad --l1 spec\n");
         return 2;
       }
+      HasL1 = true;
     } else if (A == "--l2") {
       if (!parseCache(Next(), L2)) {
         std::fprintf(stderr, "error: bad --l2 spec\n");
@@ -174,6 +208,7 @@ int main(int argc, char **argv) {
       HasL2 = true;
     } else if (A == "--no-write-allocate") {
       L1.WriteAlloc = WriteAllocate::No;
+      NoWriteAlloc = true;
     } else if (A == "--scalars") {
       Opts.IncludeScalars = true;
     } else if (A == "--no-warp") {
@@ -200,6 +235,17 @@ int main(int argc, char **argv) {
   if (Compare && BackendSet) {
     std::fprintf(stderr, "error: --compare always runs the warping vs "
                          "concrete pair; drop --backend / --no-warp\n");
+    return 2;
+  }
+  if (Sweep && (Compare || All)) {
+    std::fprintf(stderr, "error: --sweep takes a single program "
+                         "(--kernel or --file) and no --compare\n");
+    return 2;
+  }
+  if (Sweep && (HasL1 || HasL2 || NoWriteAlloc)) {
+    std::fprintf(stderr,
+                 "error: --sweep configures caches through --sweep-l1 / "
+                 "--sweep-l2; drop --l1/--l2/--no-write-allocate\n");
     return 2;
   }
   if (static_cast<int>(!Kernel.empty()) + static_cast<int>(!File.empty()) +
@@ -247,6 +293,68 @@ int main(int argc, char **argv) {
       return 1;
     }
     Programs.push_back(std::move(PR.Program));
+  }
+
+  if (Sweep) {
+    const ScopProgram &P = Programs.front();
+    std::string Err;
+    SweepLevelGrid G1, G2;
+    if (!parseSweepLevelGrid(SweepL1Spec, G1, &Err) ||
+        (!SweepL2Spec.empty() &&
+         !parseSweepLevelGrid(SweepL2Spec, G2, &Err))) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    std::vector<HierarchyConfig> Grid;
+    if (!expandSweepGrid(G1, SweepL2Spec.empty() ? nullptr : &G2,
+                         InclusionPolicy::NonInclusiveNonExclusive, Grid,
+                         &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    if (Dump)
+      std::printf("%s\n", P.str().c_str());
+
+    SweepOptions SO;
+    SO.Sim = Opts;
+    SO.Threads = Jobs;
+    if (BackendSet)
+      SO.Backend = Backend;
+    SweepReport Rep = runSweep(P, Grid, SO);
+
+    std::printf("program  %s  (%zu grid points)\n\n", P.Name.c_str(),
+                Grid.size());
+    std::printf("%-44s %-14s %14s %10s %11s\n", "config", "method",
+                "misses", "ratio", "time[s]");
+    for (const SweepPoint &Pt : Rep.Points) {
+      if (!Pt.Ok) {
+        std::printf("%-44s FAILED: %s\n", Pt.Cache.str().c_str(),
+                    Pt.Error.c_str());
+        continue;
+      }
+      uint64_t Misses = 0;
+      for (unsigned L = 0; L < Pt.Stats.NumLevels; ++L)
+        Misses += Pt.Stats.Level[L].Misses;
+      std::printf("%-44s %-14s %14llu %9.3f%% %11.4f\n",
+                  Pt.Cache.str().c_str(), sweepMethodName(Pt.Method),
+                  static_cast<unsigned long long>(Misses),
+                  100.0 * Pt.Stats.Level[0].missRatio(),
+                  Pt.Stats.Seconds);
+    }
+    std::printf("\nsweep    %s\n", Rep.summary().c_str());
+
+    if (!SweepJsonPath.empty()) {
+      SweepDoc Doc =
+          makeSweepDoc("wcs-sim", P.Name,
+                       File.empty() ? problemSizeName(Size) : "", Rep);
+      if (!writeSweepFile(SweepJsonPath, Doc, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("results  wrote %zu points to %s\n", Doc.Points.size(),
+                  SweepJsonPath.c_str());
+    }
+    return Rep.allOk() ? 0 : 1;
   }
 
   HierarchyConfig H = HasL2 ? HierarchyConfig::twoLevel(L1, L2)
@@ -312,9 +420,11 @@ int main(int argc, char **argv) {
     } else {
       const char *Tag = Backend == SimBackend::Warping
                             ? "warping (Algorithm 2)"
-                            : Backend == SimBackend::Concrete
-                                  ? "non-warping (Algorithm 1)"
-                                  : "trace-driven";
+                        : Backend == SimBackend::Concrete
+                            ? "non-warping (Algorithm 1)"
+                        : Backend == SimBackend::Trace
+                            ? "trace-driven"
+                            : "stack-distance (analytical LRU)";
       printStats(Tag, Rep.Results[Base].Stats);
     }
   }
