@@ -14,16 +14,20 @@
 //                larger
 //   fig07-sweep  single-pass capacity sweep (stack-distance fast path)
 //                vs independent per-config warping runs
+//   fig09-hier   two-level NINE grid through the filtered-stream engine
+//                (one recorded L1-miss stream per distinct L1; L2s
+//                answered from conditioned stack-distance banks or
+//                stream replays) vs independent per-point concrete runs
 //   fig12        non-warping tree simulation vs trace-driven simulation
 //                (LRU)
 //
 // Every warping/concrete and concrete/trace pair is verified to produce
 // identical miss counters before the file is written, so a results file
-// never contains an unsound speedup. The sweep suite additionally
-// verifies that every analytically derived miss count equals its
-// independently simulated twin, and aborts unless the sweep is at least
-// 3x faster in aggregate than the independent runs it replaces (the
-// subsystem's contract; see ISSUE 3).
+// never contains an unsound speedup. The sweep suites additionally
+// verify that every fast-path miss count equals its independently
+// simulated twin, and abort unless the sweep beats the independent runs
+// it replaces in aggregate: >= 3x for the fig07-sweep single pass (see
+// ISSUE 3), >= 2x for the fig09-hier filtered-stream engine (ISSUE 4).
 //
 //   wcs-bench --size small --out BENCH_results.json
 //   wcs-bench --suite fig06 --suite fig12 --jobs 4
@@ -33,6 +37,7 @@
 #include "BenchCommon.h"
 #include "wcs/driver/Results.h"
 #include "wcs/driver/Sweep.h"
+#include "wcs/support/StringUtil.h"
 
 #include <cstdio>
 #include <cstring>
@@ -54,8 +59,8 @@ void usage() {
       "  --size S         mini|small|medium|large|xlarge (default small)\n"
       "  --out FILE       results file to write (default "
       "BENCH_results.json)\n"
-      "  --suite NAME     fig06|fig07|fig07-sweep|fig12; repeatable "
-      "(default: all)\n"
+      "  --suite NAME     fig06|fig07|fig07-sweep|fig09-hier|fig12; "
+      "repeatable (default: all)\n"
       "  --jobs N         worker threads (0 = all cores; defaults to\n"
       "                   $WCS_JOBS, else 1 for clean timings; an\n"
       "                   explicit --jobs beats the environment)\n");
@@ -124,6 +129,40 @@ ProblemSize nextLarger(ProblemSize S) {
   return I + 1 < NumProblemSizes ? static_cast<ProblemSize>(I + 1) : S;
 }
 
+/// The fig09-hier grid: two L1 configurations (the scaled test-system
+/// PLRU L1 and its LRU twin) crossed with a six-point L2 axis, all
+/// NINE, so six L2 points share each recorded L1 stream. The LRU leg is
+/// a capacity ladder at a FIXED set count (8K/4-way .. 64K/32-way, all
+/// 32 sets): one conditioned stack-distance bank per L1 answers all
+/// four associativities at once (Mattson's inclusion property over the
+/// filtered stream). The two QLRU points exercise the replay path.
+std::vector<HierarchyConfig> hierGrid() {
+  std::vector<HierarchyConfig> Grid;
+  CacheConfig L1s[2] = {CacheConfig::scaledL1(), CacheConfig::scaledL1()};
+  L1s[1].Policy = PolicyKind::Lru;
+  for (const CacheConfig &L1 : L1s) {
+    for (unsigned Assoc : {4u, 8u, 16u, 32u}) {
+      CacheConfig L2{static_cast<uint64_t>(Assoc) * 32 * 64, Assoc, 64,
+                     PolicyKind::Lru, WriteAllocate::Yes};
+      Grid.push_back(HierarchyConfig::twoLevel(L1, L2));
+    }
+    for (uint64_t L2Bytes : {8u * 1024, 32u * 1024}) {
+      CacheConfig L2{L2Bytes, 16, 64, PolicyKind::QuadAgeLru,
+                     WriteAllocate::Yes};
+      Grid.push_back(HierarchyConfig::twoLevel(L1, L2));
+    }
+  }
+  return Grid;
+}
+
+/// Compact per-point tag segment, e.g. "plru4K+qlru32K".
+std::string hierPointTag(const HierarchyConfig &H) {
+  return toLowerAscii(policyName(H.Levels[0].Policy)) +
+         capacityName(H.Levels[0].SizeBytes) + "+" +
+         toLowerAscii(policyName(H.Levels[1].Policy)) +
+         capacityName(H.Levels[1].SizeBytes);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -152,7 +191,7 @@ int main(int argc, char **argv) {
     } else if (A == "--suite") {
       std::string S = Next();
       if (S != "fig06" && S != "fig07" && S != "fig07-sweep" &&
-          S != "fig12") {
+          S != "fig09-hier" && S != "fig12") {
         std::fprintf(stderr, "error: unknown suite '%s'\n", S.c_str());
         return 2;
       }
@@ -176,7 +215,7 @@ int main(int argc, char **argv) {
     }
   }
   if (Suites.empty())
-    Suites = {"fig06", "fig07", "fig07-sweep", "fig12"};
+    Suites = {"fig06", "fig07", "fig07-sweep", "fig09-hier", "fig12"};
   auto HasSuite = [&](const char *Name) {
     for (const std::string &S : Suites)
       if (S == Name)
@@ -250,6 +289,32 @@ int main(int argc, char **argv) {
         J.Backend = SimBackend::Warping;
         J.Tag = std::string("fig07-sweep/") + K.Name + "/" +
                 capacityName(Cap) + "/indep";
+        Work.push_back(std::move(J));
+      }
+    }
+  }
+
+  // fig09-hier independent baseline: one concrete two-level job per
+  // grid point, riding in the main batch. The filtered-stream sweeps
+  // run after the batch (one recorded stream per L1, measured serially).
+  struct HierKernelRef {
+    const char *Kernel;
+    const ScopProgram *Program;
+    size_t FirstJob; ///< Index of the kernel's first indep job in Work.
+  };
+  std::vector<HierKernelRef> HierKernels;
+  const std::vector<HierarchyConfig> HierGrid = hierGrid();
+  if (HasSuite("fig09-hier")) {
+    for (const KernelInfo &K : Kernels) {
+      HierKernels.push_back(
+          HierKernelRef{K.Name, Pool.get(K, Size), Work.size()});
+      for (const HierarchyConfig &H : HierGrid) {
+        BatchJob J;
+        J.Program = HierKernels.back().Program;
+        J.Cache = H;
+        J.Backend = SimBackend::Concrete;
+        J.Tag = std::string("fig09-hier/") + K.Name + "/" +
+                hierPointTag(H) + "/indep";
         Work.push_back(std::move(J));
       }
     }
@@ -339,6 +404,95 @@ int main(int argc, char **argv) {
                    "the 3x single-pass contract (%zu capacity points "
                    "per pass)\n",
                    Aggregate, Caps.size());
+      return 1;
+    }
+  }
+
+  // The hierarchy suite: per kernel, run the two-level NINE grid
+  // through the filtered-stream engine, verify bit-identity against the
+  // independent concrete runs, and enforce the engine's >= 2x
+  // aggregate-speedup contract (ISSUE 4): the grid shares each L1's
+  // recorded stream across four L2 points, so the engine pays two L1
+  // simulations plus cheap bank/replay work where the baseline pays
+  // eight full two-level simulations.
+  if (!HierKernels.empty()) {
+    // The speedup contract -- and the demand that every point actually
+    // ride the engine -- applies in the CI gate's configuration:
+    // serial jobs at the gate sizes. At larger sizes a recording may
+    // legitimately overrun the stream-memory cap and demote its group
+    // to plain simulation; that is the engine's designed fallback, so
+    // it is counted and reported, not fatal.
+    const bool Enforced = Jobs == 1 && Size <= ProblemSize::Medium;
+    double IndepTotal = 0.0, SweepTotal = 0.0;
+    GeoMean PerKernel;
+    size_t Demoted = 0;
+    for (const HierKernelRef &HK : HierKernels) {
+      SweepOptions SO;
+      SO.Threads = 1;
+      SweepReport SRep = runSweep(*HK.Program, HierGrid, SO);
+      double Indep = 0.0;
+      for (size_t PI = 0; PI < HierGrid.size(); ++PI) {
+        const SweepPoint &Pt = SRep.Points[PI];
+        if (!Pt.Ok) {
+          std::fprintf(stderr, "fatal: hier point %s of %s failed: %s\n",
+                       Pt.Cache.str().c_str(), HK.Kernel,
+                       Pt.Error.c_str());
+          return 1;
+        }
+        if (Pt.Method != SweepMethod::FilteredStream) {
+          if (Enforced) {
+            std::fprintf(stderr,
+                         "fatal: hier point %s of %s took method %s, "
+                         "not the filtered-stream engine\n",
+                         Pt.Cache.str().c_str(), HK.Kernel,
+                         sweepMethodName(Pt.Method));
+            return 1;
+          }
+          ++Demoted;
+        }
+        const BatchResult &IR = Rep.Results[HK.FirstJob + PI];
+        // Soundness: the engine must agree with the full simulation it
+        // replaces, point for point.
+        requireEqualMisses(HK.Kernel, IR.Stats, Pt.Stats);
+        Indep += IR.Stats.Seconds;
+        ResultEntry E;
+        E.Tag = std::string("fig09-hier/") + HK.Kernel + "/" +
+                hierPointTag(Pt.Cache) + "/sweep";
+        E.Backend = Pt.Backend;
+        E.Cache = Pt.Cache;
+        E.Ok = true;
+        E.Stats = Pt.Stats;
+        SweepEntries.push_back(std::move(E));
+      }
+      IndepTotal += Indep;
+      SweepTotal += SRep.WallSeconds;
+      if (SRep.WallSeconds > 0)
+        PerKernel.add(Indep / SRep.WallSeconds);
+    }
+    double Aggregate = SweepTotal > 0 ? IndepTotal / SweepTotal : 0.0;
+    std::printf("fig09-hier: %zu kernels x %zu grid points, aggregate "
+                "filtered-stream speedup %.2fx (per-kernel geomean "
+                "%.2fx)\n",
+                HierKernels.size(), HierGrid.size(), Aggregate,
+                PerKernel.count() ? PerKernel.value() : 0.0);
+    if (Demoted)
+      std::printf("fig09-hier: %zu point(s) fell back to full "
+                  "simulation (stream cap); counters still verified\n",
+                  Demoted);
+    // Like fig07-sweep, the contract is defined for the CI gate's
+    // configuration: serial jobs (the baseline timed without
+    // contention) at the gate sizes. Elsewhere the number is reported
+    // but not enforced.
+    if (Jobs != 1)
+      std::printf("fig09-hier: speedup not enforced (independent runs "
+                  "timed under --jobs %u contention)\n",
+                  Jobs);
+    if (Enforced && Aggregate < 2.0) {
+      std::fprintf(stderr,
+                   "fatal: fig09-hier aggregate speedup %.2fx is below "
+                   "the 2x filtered-stream contract (%zu-point L1-shared "
+                   "grid)\n",
+                   Aggregate, HierGrid.size());
       return 1;
     }
   }

@@ -67,6 +67,10 @@ struct CacheConfig {
 
   std::string str() const;
 
+  /// Exact configuration equality (the sweep driver groups grid points
+  /// that share an L1 by it).
+  friend bool operator==(const CacheConfig &, const CacheConfig &) = default;
+
   /// The paper's test system L1: 32 KiB, 8-way, PLRU, 64 B lines.
   static CacheConfig testSystemL1();
   /// The paper's test system L2: 1 MiB, 16-way, Quad-age LRU, 64 B lines.
@@ -78,6 +82,12 @@ struct CacheConfig {
   static CacheConfig scaledL1();
   static CacheConfig scaledL2();
 };
+
+/// Parses the tools' cache-level spelling "BYTES,ASSOC,POLICY" (exactly
+/// three fields, 64 B blocks) into \p Out, e.g. "4096,8,plru". Shared by
+/// wcs-sim --l1/--l2 and wcs-trace --filtered. Returns false on
+/// malformed specs, leaving \p Out untouched.
+bool parseCacheSpec(const std::string &Spec, CacheConfig &Out);
 
 /// Inclusion policies of two-level hierarchies (paper Sec. 2.3 /
 /// appendix A.2). The paper's implementation supports NINE; inclusive

@@ -32,6 +32,8 @@
 
 namespace wcs {
 
+class FilteredStream;
+
 /// The simulation engine a job runs on.
 enum class SimBackend {
   Warping,  ///< Warping symbolic simulation (paper Algorithm 2).
@@ -64,6 +66,12 @@ struct BatchJob {
   HierarchyConfig Cache;
   SimOptions Options;
   SimBackend Backend = SimBackend::Warping;
+  /// Non-owning; must outlive run(). When set, the job answers \p Cache
+  /// -- a two-level NINE hierarchy whose L1 equals the stream's -- by
+  /// replaying the recorded L1-miss-filtered stream through the L2
+  /// instead of simulating \p Program (which may then be null). Streams
+  /// are shared freely between jobs: replay never mutates them.
+  const FilteredStream *Filtered = nullptr;
   /// Label carried through to the result (e.g. "gemm/large/L1+L2").
   std::string Tag;
 };

@@ -18,8 +18,19 @@
 ///    property without further work. K LRU capacity points cost one
 ///    trace generation instead of K simulations.
 ///
-///  - All remaining points (FIFO / PLRU / QLRU, multi-level, no-write-
-///    allocate) are deduplicated -- grids routinely expand to identical
+///  - Two-level NINE points are grouped by their L1 configuration: the
+///    L1-miss-filtered access stream of each distinct L1 is recorded
+///    ONCE (trace/FilteredStream) and answers every L2 sharing that L1
+///    -- LRU write-allocate L2s analytically from stack-distance banks
+///    conditioned on the stream, all other L2s by replaying the (much
+///    shorter) recorded stream through a concrete L2 as deduplicated
+///    BatchRunner jobs. K two-level points over G distinct L1s cost G
+///    L1 simulations plus cheap replays instead of K full simulations.
+///
+///  - All remaining points (single-level FIFO / PLRU / QLRU,
+///    no-write-allocate LRU, inclusive/exclusive hierarchies, and
+///    two-level points whose stream recording overran its cap) are
+///    deduplicated -- grids routinely expand to identical
 ///    configurations -- and fanned across BatchRunner workers, on the
 ///    warping backend by default.
 ///
@@ -44,7 +55,11 @@ namespace wcs {
 /// How one sweep point's counters were obtained.
 enum class SweepMethod {
   StackDistance, ///< Shared per-set stack-distance pass (LRU fast path).
-  Simulated,     ///< Dedicated simulation job through BatchRunner.
+  /// Shared L1-miss-filtered stream (two-level NINE fast path); the
+  /// point's Backend tells the second stage apart: StackDistance for
+  /// L2s answered from a conditioned bank, Concrete for replayed L2s.
+  FilteredStream,
+  Simulated, ///< Dedicated simulation job through BatchRunner.
 };
 
 const char *sweepMethodName(SweepMethod M);
@@ -103,8 +118,13 @@ struct SweepOptions {
   SimOptions Sim;
   /// Worker threads for the simulated partition (0 = all cores).
   unsigned Threads = 1;
-  /// Backend for points the fast path cannot answer.
+  /// Backend for points no fast path can answer.
   SimBackend Backend = SimBackend::Warping;
+  /// Cap on the records of one L1-miss-filtered stream (memory guard: a
+  /// record is 16 bytes). A recording that would exceed it is aborted
+  /// and its grid points fall back to full simulation with method
+  /// "simulated". 0 = unlimited. The default bounds a stream at 1 GiB.
+  uint64_t MaxFilteredRecords = 1ull << 26;
 };
 
 /// Everything runSweep returns: per-point results in input order plus
@@ -115,7 +135,12 @@ struct SweepReport {
   uint64_t TraceAccesses = 0;     ///< Accesses in the shared pass.
   unsigned NumBanks = 0;          ///< Distinct (block, sets) geometries.
   size_t StackDistancePoints = 0; ///< Points answered analytically.
+  size_t FilteredPoints = 0;      ///< Points answered via filtered streams.
+  unsigned FilteredGroups = 0;    ///< Distinct L1 configs recorded.
+  uint64_t FilteredRecords = 0;   ///< Records across all streams.
+  double RecordSeconds = 0.0;     ///< Stream recording + bank feeding.
   size_t SimulatedJobs = 0;       ///< Jobs actually run (after dedup).
+  size_t ReplayJobs = 0;          ///< Of those, filtered-stream replays.
   size_t DedupedPoints = 0;       ///< Simulated points sharing a job.
   double WallSeconds = 0.0;
   unsigned Threads = 1;
@@ -148,6 +173,9 @@ struct SweepDoc {
   unsigned Threads = 1;
   double TracePassSeconds = 0.0;
   uint64_t TraceAccesses = 0;
+  unsigned FilteredGroups = 0;  ///< Distinct L1 streams recorded.
+  uint64_t FilteredRecords = 0; ///< Records across all streams.
+  double RecordSeconds = 0.0;   ///< Stream recording + bank feeding.
   size_t SimulatedJobs = 0;
   size_t DedupedPoints = 0;
   std::vector<SweepPoint> Points;

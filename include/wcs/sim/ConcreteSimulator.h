@@ -22,6 +22,8 @@
 #include "wcs/sim/SimConfig.h"
 #include "wcs/sim/SimStats.h"
 
+#include <functional>
+
 namespace wcs {
 
 /// Non-warping simulator (paper Algorithm 1).
@@ -36,6 +38,16 @@ public:
   /// The hierarchy state after run() (e.g. to chain SCoPs).
   const ConcreteHierarchy &hierarchy() const { return Cache; }
 
+  /// Observer invoked once per simulated access with the block, the
+  /// write flag and the full hierarchy outcome. This is the filter tap
+  /// of trace/FilteredStream: recording the accesses with !L1Hit yields
+  /// exactly the stream a NINE L2 sees. Must be set before run(); the
+  /// tap may throw to abort the simulation (the exception propagates
+  /// out of run()).
+  using AccessTap =
+      std::function<void(BlockId, bool IsWrite, const HierarchyOutcome &)>;
+  void setTap(AccessTap T) { Tap = std::move(T); }
+
 private:
   void simulateNode(const Node *N, IterVec &Iter);
   void simulateLoop(const LoopNode *L, IterVec &Iter);
@@ -46,6 +58,7 @@ private:
   SimOptions Options;
   SimStats Stats;
   unsigned BlockShift;
+  AccessTap Tap;
 };
 
 } // namespace wcs

@@ -1,0 +1,126 @@
+//===- wcs/trace/FilteredStream.h - L1-miss-filtered streams ----*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recorded, replayable L1-miss-filtered access streams: the substrate
+/// of multi-level design-space sweeps. In a NINE (non-inclusive
+/// non-exclusive) hierarchy the L2 is accessed exactly when the L1
+/// misses, with the same block (paper Eq. (24)), and the L1 evolves
+/// independently of the L2. The stream of L1 misses therefore fully
+/// determines every L2's behavior: record it once per distinct L1
+/// configuration and every (L1, L2) grid point sharing that L1 follows
+/// without re-simulating the L1.
+///
+/// Two consumers stack on a recorded stream:
+///
+///  - replay(): drive the records through a concrete L2 of any policy
+///    and write-miss mode, reproducing the two-level NINE counters bit
+///    for bit at the cost of the (much shorter) filtered stream;
+///  - feed(): condition a per-set stack-distance bank on the stream, so
+///    every LRU write-allocate L2 geometry sharing a (block, sets)
+///    shape is answered analytically, with no per-point replay at all.
+///
+/// Inclusive and exclusive hierarchies couple the L1 to the L2
+/// (back-invalidation, victim caching), so their L1 streams depend on
+/// the L2 and cannot be shared; answersHierarchy() rejects them and the
+/// sweep planner falls back to full simulation with honest provenance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_TRACE_FILTEREDSTREAM_H
+#define WCS_TRACE_FILTEREDSTREAM_H
+
+#include "wcs/cache/CacheConfig.h"
+#include "wcs/scop/Program.h"
+#include "wcs/sim/SimConfig.h"
+#include "wcs/sim/SimStats.h"
+#include "wcs/trace/StackDistance.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcs {
+
+/// One record of an L1-miss-filtered stream: the block the L2 sees and
+/// whether the originating access was a write (which decides the L2's
+/// allocate-on-miss behavior under no-write-allocate).
+struct FilteredRecord {
+  BlockId Block;
+  bool IsWrite;
+};
+
+/// The L1-miss-filtered access stream of one program under one L1
+/// configuration, plus the L1 counters of the recording run.
+class FilteredStream {
+public:
+  FilteredStream() = default;
+
+  /// Records the stream: one concrete simulation of \p L1 alone over
+  /// \p Program, appending a record per L1 miss. When \p MaxRecords is
+  /// nonzero and the stream would exceed it, recording aborts early and
+  /// the result is truncated() -- unusable for answering grid points,
+  /// so callers must fall back to full simulation.
+  static FilteredStream record(const ScopProgram &Program,
+                               const CacheConfig &L1,
+                               const SimOptions &Opts = SimOptions(),
+                               uint64_t MaxRecords = 0);
+
+  const CacheConfig &l1() const { return L1; }
+  const std::vector<FilteredRecord> &records() const { return Records; }
+  size_t size() const { return Records.size(); }
+  bool truncated() const { return Truncated; }
+
+  /// L1 counters of the recording run. l1Misses() == size(): in NINE
+  /// every L1 miss -- including a non-allocating write miss -- accesses
+  /// the L2.
+  uint64_t l1Accesses() const { return L1Stats.Accesses; }
+  uint64_t l1Misses() const { return L1Stats.Misses; }
+  const LevelStats &l1Stats() const { return L1Stats; }
+
+  /// Wall-clock seconds of the recording simulation.
+  double recordSeconds() const { return Seconds; }
+
+  /// True when \p H is answerable from this stream: a two-level NINE
+  /// hierarchy whose L1 equals the recorded one (and the stream was not
+  /// truncated). On false, \p Why (if given) names the reason.
+  bool answersHierarchy(const HierarchyConfig &H,
+                        std::string *Why = nullptr) const;
+
+  /// True when an L2 with config \p L2 is answerable analytically from
+  /// a stack-distance bank conditioned on the stream (LRU,
+  /// write-allocate: every filtered access then allocates, so the L2 is
+  /// a pure per-set LRU stack over the stream).
+  static bool l2IsAnalytic(const CacheConfig &L2) {
+    return L2.Policy == PolicyKind::Lru &&
+           L2.WriteAlloc == WriteAllocate::Yes;
+  }
+
+  /// Conditions \p Bank on the stream (one call per record, in order).
+  /// The bank's block size must equal the L1's: levels of a hierarchy
+  /// share one block size, so records are already at L2 block
+  /// granularity.
+  void feed(SetDistanceBank &Bank) const;
+
+  /// Replays the stream through a concrete L2 \p L2 and returns the
+  /// full two-level NINE counters: Level[0] from the recording run,
+  /// Level[1] from the replay. Stats.Seconds is the replay time only
+  /// (the recording is shared across many replays; attribution is the
+  /// caller's policy).
+  SimStats replay(const CacheConfig &L2) const;
+
+private:
+  CacheConfig L1;
+  LevelStats L1Stats;
+  double Seconds = 0.0;
+  bool Truncated = false;
+  std::vector<FilteredRecord> Records;
+};
+
+} // namespace wcs
+
+#endif // WCS_TRACE_FILTEREDSTREAM_H

@@ -95,8 +95,12 @@ public:
   unsigned numSets() const { return static_cast<unsigned>(Sets.size()); }
   unsigned blockBytes() const { return 1u << BlockShift; }
 
-  void accessAddr(int64_t Addr) {
-    BlockId B = Addr >> BlockShift;
+  void accessAddr(int64_t Addr) { accessBlock(Addr >> BlockShift); }
+
+  /// Records an access that is already at block granularity (e.g. a
+  /// record of an L1-miss-filtered stream; the block size of the
+  /// producing L1 must equal this bank's).
+  void accessBlock(BlockId B) {
     Sets[static_cast<size_t>(static_cast<uint64_t>(B) & SetMask)]
         .accessBlock(B);
     ++Total;

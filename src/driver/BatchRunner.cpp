@@ -10,6 +10,7 @@
 #include "wcs/sim/ConcreteSimulator.h"
 #include "wcs/sim/WarpingSimulator.h"
 #include "wcs/support/StringUtil.h"
+#include "wcs/trace/FilteredStream.h"
 #include "wcs/trace/StackDistance.h"
 #include "wcs/trace/TraceSimulator.h"
 
@@ -103,7 +104,7 @@ BatchResult BatchRunner::runJob(const BatchJob &Job, size_t JobIndex) {
   BatchResult R;
   R.JobIndex = JobIndex;
   R.Tag = Job.Tag;
-  if (!Job.Program) {
+  if (!Job.Program && !Job.Filtered) {
     R.Error = "job has no program";
     return R;
   }
@@ -116,6 +117,18 @@ BatchResult BatchRunner::runJob(const BatchJob &Job, size_t JobIndex) {
   // trace) must become a per-job failure, not escape a worker thread
   // and terminate the whole batch.
   try {
+    if (Job.Filtered) {
+      // Filtered-stream replay: the recorded L1-miss stream drives the
+      // L2 directly (NINE fast path of the sweep driver).
+      std::string Why;
+      if (!Job.Filtered->answersHierarchy(Job.Cache, &Why)) {
+        R.Error = Why;
+        return R;
+      }
+      R.Stats = Job.Filtered->replay(Job.Cache.Levels[1]);
+      R.Ok = true;
+      return R;
+    }
     switch (Job.Backend) {
     case SimBackend::Warping: {
       WarpingSimulator Sim(*Job.Program, Job.Cache, Job.Options);

@@ -125,6 +125,33 @@ inline bool needArray(const json::Value &V, const char *Key,
   return true;
 }
 
+// Optional variants: an absent member leaves \p Out at its caller-set
+// default and succeeds; a present but mistyped member still fails
+// loudly. For fields added to a schema after its first release --
+// writers always emit them, but older files of the same version must
+// keep parsing.
+
+inline bool optUInt(const json::Value &V, const char *Key, uint64_t &Out,
+                    std::string *Err) {
+  if (!V.isObject())
+    return failMsg(Err, "expected an object");
+  return V.find(Key) == nullptr || needUInt(V, Key, Out, Err);
+}
+
+inline bool optU32(const json::Value &V, const char *Key, unsigned &Out,
+                   std::string *Err) {
+  if (!V.isObject())
+    return failMsg(Err, "expected an object");
+  return V.find(Key) == nullptr || needU32(V, Key, Out, Err);
+}
+
+inline bool optDouble(const json::Value &V, const char *Key, double &Out,
+                      std::string *Err) {
+  if (!V.isObject())
+    return failMsg(Err, "expected an object");
+  return V.find(Key) == nullptr || needDouble(V, Key, Out, Err);
+}
+
 } // namespace jsonfield
 } // namespace wcs
 

@@ -10,6 +10,7 @@
 #include "JsonFieldHelpers.h"
 #include "wcs/driver/Results.h"
 #include "wcs/support/StringUtil.h"
+#include "wcs/trace/FilteredStream.h"
 #include "wcs/trace/StackDistance.h"
 #include "wcs/trace/TraceGenerator.h"
 
@@ -26,6 +27,8 @@ const char *wcs::sweepMethodName(SweepMethod M) {
   switch (M) {
   case SweepMethod::StackDistance:
     return "stack-distance";
+  case SweepMethod::FilteredStream:
+    return "filtered-stream";
   case SweepMethod::Simulated:
     return "simulated";
   }
@@ -36,6 +39,8 @@ bool wcs::parseSweepMethodName(const std::string &Name, SweepMethod &Out) {
   std::string L = toLowerAscii(Name);
   if (L == "stack-distance" || L == "stackdistance")
     Out = SweepMethod::StackDistance;
+  else if (L == "filtered-stream" || L == "filteredstream")
+    Out = SweepMethod::FilteredStream;
   else if (L == "simulated")
     Out = SweepMethod::Simulated;
   else
@@ -221,14 +226,18 @@ bool SweepReport::allOk() const {
 }
 
 std::string SweepReport::summary() const {
-  char Buf[256];
-  std::snprintf(Buf, sizeof(Buf),
-                "%zu points: %zu from one stack-distance pass (%u banks, "
-                "%.3f s), %zu simulated as %zu jobs (%zu deduped) on %u "
-                "threads; %.3f s total",
-                Points.size(), StackDistancePoints, NumBanks,
-                TracePassSeconds, Points.size() - StackDistancePoints,
-                SimulatedJobs, DedupedPoints, Threads, WallSeconds);
+  char Buf[384];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "%zu points: %zu from one stack-distance pass (%u banks, %.3f s), "
+      "%zu from %u filtered L1 streams (%llu records, %.3f s), %zu fully "
+      "simulated; %zu jobs (%zu replays, %zu deduped) on %u threads; "
+      "%.3f s total",
+      Points.size(), StackDistancePoints, NumBanks, TracePassSeconds,
+      FilteredPoints, FilteredGroups,
+      static_cast<unsigned long long>(FilteredRecords), RecordSeconds,
+      Points.size() - StackDistancePoints - FilteredPoints, SimulatedJobs,
+      ReplayJobs, DedupedPoints, Threads, WallSeconds);
   return Buf;
 }
 
@@ -239,10 +248,16 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
   SweepReport Rep;
   Rep.Points.resize(Configs.size());
 
-  // Partition the grid. Fast path: single-level write-allocate LRU,
-  // answerable from a per-set stack-distance bank keyed on (block size,
-  // set count). Everything else becomes a simulation job, deduplicated
-  // by exact configuration.
+  // Partition the grid three ways:
+  //  - single-level write-allocate LRU: answered from a per-set
+  //    stack-distance bank keyed on (block size, set count), all banks
+  //    fed by ONE shared trace pass;
+  //  - two-level NINE: grouped by L1 config; each group records the
+  //    L1-miss-filtered stream once, then answers LRU write-allocate
+  //    L2s from banks conditioned on the stream and replays the rest
+  //    through deduplicated BatchRunner jobs;
+  //  - everything else: a simulation job, deduplicated by exact
+  //    configuration.
   std::vector<SetDistanceBank> Banks;
   std::map<std::pair<unsigned, unsigned>, size_t> BankIndex;
   struct FastPoint {
@@ -250,9 +265,25 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
     size_t Bank;
   };
   std::vector<FastPoint> Fast;
-  std::vector<BatchJob> Jobs;
-  std::vector<std::vector<size_t>> JobPoints; ///< Job -> input indices.
-  std::map<std::string, size_t> JobIndex;     ///< Config key -> job.
+
+  struct AnalyticPoint {
+    size_t Point;
+    size_t Bank; ///< Index into the group's conditioned banks.
+  };
+  struct FilteredGroup {
+    CacheConfig L1;
+    std::vector<size_t> Members; ///< All input indices sharing this L1.
+    std::vector<AnalyticPoint> Analytic;
+    std::vector<size_t> ReplayPoints;
+    std::vector<SetDistanceBank> Banks; ///< Conditioned on the stream.
+    std::map<std::pair<unsigned, unsigned>, size_t> BankIndex;
+    FilteredStream Stream;
+    double FeedSeconds = 0.0;
+  };
+  std::vector<FilteredGroup> Groups;
+  std::map<std::string, size_t> GroupIndex; ///< L1 config key -> group.
+
+  std::vector<size_t> PlainSim; ///< Input indices needing a full job.
 
   for (size_t I = 0; I < Configs.size(); ++I) {
     const HierarchyConfig &H = Configs[I];
@@ -277,28 +308,40 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
       Fast.push_back(FastPoint{I, It->second});
       continue;
     }
+    if (H.numLevels() == 2 &&
+        H.Inclusion == InclusionPolicy::NonInclusiveNonExclusive) {
+      std::string GKey = toJson(L1).dump(false);
+      auto It = GroupIndex.find(GKey);
+      if (It == GroupIndex.end()) {
+        It = GroupIndex.emplace(std::move(GKey), Groups.size()).first;
+        Groups.emplace_back();
+        Groups.back().L1 = L1;
+      }
+      FilteredGroup &G = Groups[It->second];
+      G.Members.push_back(I);
+      P.Method = SweepMethod::FilteredStream;
+      const CacheConfig &L2 = H.Levels[1];
+      if (FilteredStream::l2IsAnalytic(L2)) {
+        P.Backend = SimBackend::StackDistance;
+        auto BKey = std::make_pair(L2.BlockBytes, L2.numSets());
+        auto BIt = G.BankIndex.find(BKey);
+        if (BIt == G.BankIndex.end()) {
+          BIt = G.BankIndex.emplace(BKey, G.Banks.size()).first;
+          G.Banks.emplace_back(L2.BlockBytes, L2.numSets());
+        }
+        G.Analytic.push_back(AnalyticPoint{I, BIt->second});
+      } else {
+        P.Backend = SimBackend::Concrete;
+        G.ReplayPoints.push_back(I);
+      }
+      continue;
+    }
     P.Method = SweepMethod::Simulated;
     P.Backend = Opts.Backend;
-    std::string Key = toJson(H).dump(false);
-    auto It = JobIndex.find(Key);
-    if (It == JobIndex.end()) {
-      It = JobIndex.emplace(std::move(Key), Jobs.size()).first;
-      BatchJob J;
-      J.Program = &Program;
-      J.Cache = H;
-      J.Options = Opts.Sim;
-      J.Backend = Opts.Backend;
-      J.Tag = H.str();
-      Jobs.push_back(std::move(J));
-      JobPoints.emplace_back();
-    } else {
-      ++Rep.DedupedPoints;
-    }
-    JobPoints[It->second].push_back(I);
+    PlainSim.push_back(I);
   }
   Rep.NumBanks = static_cast<unsigned>(Banks.size());
   Rep.StackDistancePoints = Fast.size();
-  Rep.SimulatedJobs = Jobs.size();
 
   // The shared trace pass: generated once, feeding every bank.
   if (!Banks.empty()) {
@@ -314,6 +357,81 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
                                std::chrono::steady_clock::now() - P0)
                                .count();
   }
+
+  // Record one L1-miss-filtered stream per group and condition the L2
+  // banks on it. A truncated recording (stream cap exceeded) demotes
+  // the whole group to plain simulation with honest provenance.
+  for (FilteredGroup &G : Groups) {
+    G.Stream = FilteredStream::record(Program, G.L1, Opts.Sim,
+                                      Opts.MaxFilteredRecords);
+    Rep.RecordSeconds += G.Stream.recordSeconds();
+    if (G.Stream.truncated()) {
+      for (size_t I : G.Members) {
+        Rep.Points[I].Method = SweepMethod::Simulated;
+        Rep.Points[I].Backend = Opts.Backend;
+        PlainSim.push_back(I);
+      }
+      G.Analytic.clear();
+      G.ReplayPoints.clear();
+      continue;
+    }
+    ++Rep.FilteredGroups;
+    Rep.FilteredPoints += G.Members.size();
+    Rep.FilteredRecords += G.Stream.size();
+    if (!G.Banks.empty()) {
+      auto F0 = std::chrono::steady_clock::now();
+      for (SetDistanceBank &B : G.Banks)
+        G.Stream.feed(B);
+      G.FeedSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - F0)
+                          .count();
+      Rep.RecordSeconds += G.FeedSeconds;
+    }
+  }
+
+  // Build the job list: full simulations plus stream replays, both
+  // deduplicated by exact configuration (replays in their own key
+  // namespace -- a replay and a full job of the same config must not
+  // merge, their cost models differ).
+  std::vector<BatchJob> Jobs;
+  std::vector<std::vector<size_t>> JobPoints; ///< Job -> input indices.
+  std::map<std::string, size_t> JobIndex;     ///< Config key -> job.
+  auto addJob = [&](std::string Key, size_t PointIdx, BatchJob J) {
+    auto It = JobIndex.find(Key);
+    if (It == JobIndex.end()) {
+      It = JobIndex.emplace(std::move(Key), Jobs.size()).first;
+      Jobs.push_back(std::move(J));
+      JobPoints.emplace_back();
+    } else {
+      ++Rep.DedupedPoints;
+    }
+    JobPoints[It->second].push_back(PointIdx);
+  };
+  for (size_t I : PlainSim) {
+    const HierarchyConfig &H = Configs[I];
+    BatchJob J;
+    J.Program = &Program;
+    J.Cache = H;
+    J.Options = Opts.Sim;
+    J.Backend = Opts.Backend;
+    J.Tag = H.str();
+    addJob(toJson(H).dump(false), I, std::move(J));
+  }
+  for (FilteredGroup &G : Groups)
+    for (size_t I : G.ReplayPoints) {
+      const HierarchyConfig &H = Configs[I];
+      BatchJob J;
+      J.Cache = H;
+      J.Options = Opts.Sim;
+      J.Backend = SimBackend::Concrete;
+      J.Filtered = &G.Stream;
+      J.Tag = H.str();
+      addJob("replay:" + toJson(H).dump(false), I, std::move(J));
+    }
+  Rep.SimulatedJobs = Jobs.size();
+  for (const BatchJob &J : Jobs)
+    if (J.Filtered)
+      ++Rep.ReplayJobs;
 
   // Fan the simulated partition across the workers.
   Rep.Threads = 1;
@@ -346,6 +464,32 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
     P.Stats.SimulatedAccesses = Bank.totalAccesses();
     P.Stats.Seconds = Share;
     P.Ok = true;
+  }
+
+  // Answer the conditioned-bank points and attribute each group's
+  // recording cost in equal shares over its members (replayed points
+  // add their job's replay time on top; the shares again sum back to
+  // the true recording cost).
+  for (FilteredGroup &G : Groups) {
+    if (G.Stream.truncated())
+      continue;
+    double GShare = G.Members.empty()
+                        ? 0.0
+                        : (G.Stream.recordSeconds() + G.FeedSeconds) /
+                              static_cast<double>(G.Members.size());
+    for (const AnalyticPoint &A : G.Analytic) {
+      SweepPoint &P = Rep.Points[A.Point];
+      P.Stats.NumLevels = 2;
+      P.Stats.Level[0] = G.Stream.l1Stats();
+      P.Stats.Level[1].Accesses = G.Stream.size();
+      P.Stats.Level[1].Misses =
+          G.Banks[A.Bank].missesForCache(P.Cache.Levels[1]);
+      P.Stats.SimulatedAccesses = G.Stream.l1Accesses();
+      P.Stats.Seconds = GShare;
+      P.Ok = true;
+    }
+    for (size_t I : G.ReplayPoints)
+      Rep.Points[I].Stats.Seconds += GShare;
   }
 
   Rep.WallSeconds = std::chrono::duration<double>(
@@ -398,6 +542,9 @@ Value wcs::toJson(const SweepDoc &D) {
   V.set("threads", D.Threads);
   V.set("trace_pass_seconds", D.TracePassSeconds);
   V.set("trace_accesses", D.TraceAccesses);
+  V.set("filtered_groups", D.FilteredGroups);
+  V.set("filtered_records", D.FilteredRecords);
+  V.set("record_seconds", D.RecordSeconds);
   V.set("simulated_jobs", static_cast<uint64_t>(D.SimulatedJobs));
   V.set("deduped_points", static_cast<uint64_t>(D.DedupedPoints));
   Value Points = Value::array();
@@ -424,12 +571,22 @@ bool wcs::fromJson(const Value &V, SweepDoc &Out, std::string *Err) {
   }
   uint64_t SimJobs, Deduped;
   const Value *Points;
+  // Defaults for the optional fields (absent in pre-engine v1 files).
+  Out.FilteredGroups = 0;
+  Out.FilteredRecords = 0;
+  Out.RecordSeconds = 0.0;
   if (!needString(V, "tool", Out.Tool, Err) ||
       !needString(V, "program", Out.Program, Err) ||
       !needString(V, "size", Out.SizeName, Err) ||
       !needU32(V, "threads", Out.Threads, Err) ||
       !needDouble(V, "trace_pass_seconds", Out.TracePassSeconds, Err) ||
       !needUInt(V, "trace_accesses", Out.TraceAccesses, Err) ||
+      // The filtered-stream figures joined the v1 schema after its
+      // first release: optional on read (defaulting to 0, which is
+      // what pre-engine sweeps genuinely had), always written.
+      !optU32(V, "filtered_groups", Out.FilteredGroups, Err) ||
+      !optUInt(V, "filtered_records", Out.FilteredRecords, Err) ||
+      !optDouble(V, "record_seconds", Out.RecordSeconds, Err) ||
       !needUInt(V, "simulated_jobs", SimJobs, Err) ||
       !needUInt(V, "deduped_points", Deduped, Err) ||
       !needArray(V, "points", Points, Err))
@@ -481,6 +638,9 @@ SweepDoc wcs::makeSweepDoc(std::string Tool, std::string Program,
   D.Threads = Report.Threads;
   D.TracePassSeconds = Report.TracePassSeconds;
   D.TraceAccesses = Report.TraceAccesses;
+  D.FilteredGroups = Report.FilteredGroups;
+  D.FilteredRecords = Report.FilteredRecords;
+  D.RecordSeconds = Report.RecordSeconds;
   D.SimulatedJobs = Report.SimulatedJobs;
   D.DedupedPoints = Report.DedupedPoints;
   D.Points = Report.Points;

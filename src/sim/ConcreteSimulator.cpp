@@ -78,6 +78,8 @@ void ConcreteSimulator::simulateAccess(const AccessNode *A,
     return;
   BlockId B = A->Address.eval(Iter) >> BlockShift;
   HierarchyOutcome O = Cache.access(B, A->isWrite());
+  if (Tap)
+    Tap(B, A->isWrite(), O);
   ++Stats.SimulatedAccesses;
   ++Stats.Level[0].Accesses;
   if (!O.L1Hit)

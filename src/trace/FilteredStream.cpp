@@ -1,0 +1,112 @@
+//===- trace/FilteredStream.cpp -------------------------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/trace/FilteredStream.h"
+
+#include "wcs/sim/ConcreteSimulator.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace wcs;
+
+namespace {
+
+/// Thrown by the recording tap to abort the simulation once MaxRecords
+/// is exceeded: the stream is useless from that point on, so finishing
+/// the walk would only burn the time the fallback simulation needs.
+struct RecordCapExceeded {};
+
+} // namespace
+
+FilteredStream FilteredStream::record(const ScopProgram &Program,
+                                      const CacheConfig &L1,
+                                      const SimOptions &Opts,
+                                      uint64_t MaxRecords) {
+  FilteredStream FS;
+  FS.L1 = L1;
+  auto T0 = std::chrono::steady_clock::now();
+  ConcreteSimulator Sim(Program, HierarchyConfig::singleLevel(L1), Opts);
+  Sim.setTap([&FS, MaxRecords](BlockId B, bool IsWrite,
+                               const HierarchyOutcome &O) {
+    if (O.L1Hit)
+      return;
+    if (MaxRecords != 0 && FS.Records.size() >= MaxRecords)
+      throw RecordCapExceeded{};
+    FS.Records.push_back(FilteredRecord{B, IsWrite});
+  });
+  try {
+    SimStats S = Sim.run();
+    FS.L1Stats = S.Level[0];
+    assert(FS.L1Stats.Misses == FS.Records.size() &&
+           "every L1 miss must be recorded");
+  } catch (const RecordCapExceeded &) {
+    FS.Truncated = true;
+    FS.Records.clear();
+    FS.Records.shrink_to_fit();
+  }
+  FS.Seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  return FS;
+}
+
+bool FilteredStream::answersHierarchy(const HierarchyConfig &H,
+                                      std::string *Why) const {
+  auto Fail = [&](const char *Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (Truncated)
+    return Fail("stream recording was truncated");
+  if (H.numLevels() != 2)
+    return Fail("filtered streams answer two-level hierarchies only");
+  if (H.Inclusion != InclusionPolicy::NonInclusiveNonExclusive)
+    return Fail("inclusive/exclusive L2s couple back into the L1; only "
+                "NINE hierarchies share L1-filtered streams");
+  if (!(H.Levels.front() == L1))
+    return Fail("hierarchy L1 differs from the recorded L1");
+  return true;
+}
+
+void FilteredStream::feed(SetDistanceBank &Bank) const {
+  assert(!Truncated && "cannot condition a bank on a truncated stream");
+  assert(Bank.blockBytes() == L1.BlockBytes &&
+         "bank block size must equal the recorded L1's");
+  for (const FilteredRecord &R : Records)
+    Bank.accessBlock(R.Block);
+}
+
+SimStats FilteredStream::replay(const CacheConfig &L2) const {
+  assert(!Truncated && "cannot replay a truncated stream");
+  assert(L2.BlockBytes == L1.BlockBytes &&
+         "levels of a hierarchy share one block size");
+  auto T0 = std::chrono::steady_clock::now();
+  SimStats S;
+  S.NumLevels = 2;
+  S.Level[0] = L1Stats;
+  S.Level[1].Accesses = Records.size();
+  ConcreteCache Cache(L2);
+  uint64_t Misses = 0;
+  for (const FilteredRecord &R : Records) {
+    // Mirror of ConcreteHierarchy's NINE L2 leg: the L2 sees the same
+    // block, allocating unless a write miss under no-write-allocate.
+    bool Alloc = !(R.IsWrite && L2.WriteAlloc == WriteAllocate::No);
+    AccessOutcome O = Cache.access(R.Block, Alloc);
+    if (!O.Hit)
+      ++Misses;
+  }
+  S.Level[1].Misses = Misses;
+  // The replay walks only the filtered stream; the full-trace L1 walk
+  // happened once, at recording time.
+  S.SimulatedAccesses = Records.size();
+  S.Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  return S;
+}

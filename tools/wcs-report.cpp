@@ -9,8 +9,15 @@
 // drift is a correctness bug; wall-clock is noisy, so time only gates
 // through a threshold on the geometric-mean ratio.
 //
+// Given a single file, wcs-report instead renders a wcs-sweep document
+// (written by wcs-sim --sweep-json) as capacity-axis tables: one table
+// per configuration series, rows ordered by the capacity of the swept
+// level, misses per level per row -- the misses-vs-capacity view of the
+// paper's Fig. 9 rather than one flat row per grid point.
+//
 //   wcs-report baseline.json current.json
 //   wcs-report bench/baseline.json BENCH_results.json --check --threshold 2
+//   wcs-report sweep.json
 //
 // Exit status: 0 clean; 1 when --check trips; 2 on usage or I/O errors.
 // --check trips on any counter drift, on entries that disappeared or
@@ -21,6 +28,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "wcs/driver/Results.h"
+#include "wcs/driver/Sweep.h"
 #include "wcs/support/Stats.h"
 
 #include <algorithm>
@@ -28,6 +36,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,11 +49,15 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: wcs-report BASELINE.json CURRENT.json [options]\n"
+      "       wcs-report SWEEP.json\n"
       "  --check          gate: exit 1 on any miss/access drift, on\n"
       "                   missing or failed entries, or on time regression\n"
       "  --threshold X    time gate: fail when geomean(current/baseline)\n"
       "                   wall-time ratio exceeds X (default 1.25)\n"
-      "  --quiet          print only drifting entries and the summary\n");
+      "  --quiet          print only drifting entries and the summary\n"
+      "With a single file (a wcs-sweep document), renders capacity-axis\n"
+      "tables: misses vs swept-level capacity, one table per\n"
+      "configuration series (--check does not apply).\n");
 }
 
 /// Total misses across levels (the headline drift number of one entry).
@@ -90,6 +104,141 @@ bool countersEqual(const SimStats &A, const SimStats &B) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Sweep-document rendering (single-file mode)
+//===----------------------------------------------------------------------===//
+
+std::string capacityStr(uint64_t Bytes) {
+  return Bytes % 1024 == 0 ? std::to_string(Bytes / 1024) + "KiB"
+                           : std::to_string(Bytes) + "B";
+}
+
+/// The per-level descriptor of a series: everything of the level's
+/// config except the capacity when \p IsAxis. Fully-associative points
+/// keep "full" rather than a way count, so a fully-associative capacity
+/// ladder (whose way count grows with the capacity) forms one series.
+std::string levelDesc(const CacheConfig &C, bool IsAxis) {
+  std::string S;
+  if (!IsAxis)
+    S += capacityStr(C.SizeBytes) + " ";
+  S += C.isFullyAssociative() && IsAxis
+           ? std::string("full-assoc")
+           : std::to_string(C.Assoc) + "-way";
+  S += std::string(" ") + policyName(C.Policy);
+  S += " " + std::to_string(C.BlockBytes) + "B-lines";
+  S += C.WriteAlloc == WriteAllocate::Yes ? " WA" : " NWA";
+  return S;
+}
+
+/// Renders a wcs-sweep document as capacity-axis tables: points are
+/// grouped into series that differ only in the capacity of the swept
+/// ("axis") level, and each series prints one row per capacity with the
+/// per-level miss counts. The axis is the level with the most distinct
+/// capacities among the document's points (computed per level-count
+/// class, so mixed single/two-level documents render sensibly).
+int renderSweep(const SweepDoc &Doc, const std::string &Path) {
+  std::printf("sweep    %s  (%s%s%s, %zu points, %u threads)\n",
+              Path.c_str(), Doc.Tool.c_str(),
+              Doc.Program.empty() ? "" : " ", Doc.Program.c_str(),
+              Doc.Points.size(), Doc.Threads);
+  if (!Doc.SizeName.empty())
+    std::printf("size     %s\n", Doc.SizeName.c_str());
+  std::printf("shared   trace pass %.3f s (%llu accesses); %u filtered "
+              "L1 streams %.3f s (%llu records); %zu jobs (%zu deduped "
+              "points)\n",
+              Doc.TracePassSeconds,
+              static_cast<unsigned long long>(Doc.TraceAccesses),
+              Doc.FilteredGroups, Doc.RecordSeconds,
+              static_cast<unsigned long long>(Doc.FilteredRecords),
+              Doc.SimulatedJobs, Doc.DedupedPoints);
+
+  size_t Failed = 0;
+  for (const SweepPoint &P : Doc.Points)
+    if (!P.Ok) {
+      std::printf("FAILED   %s: %s\n", P.Cache.str().c_str(),
+                  P.Error.c_str());
+      ++Failed;
+    }
+
+  // Pick the axis level per level-count class: the one whose capacity
+  // varies most across the class's points.
+  std::map<unsigned, unsigned> AxisOf; ///< numLevels -> axis level.
+  for (unsigned NumLevels : {1u, 2u}) {
+    std::vector<std::set<uint64_t>> Caps(NumLevels);
+    for (const SweepPoint &P : Doc.Points)
+      if (P.Ok && P.Cache.numLevels() == NumLevels)
+        for (unsigned L = 0; L < NumLevels; ++L)
+          Caps[L].insert(P.Cache.Levels[L].SizeBytes);
+    unsigned Axis = NumLevels - 1;
+    for (unsigned L = 0; L < NumLevels; ++L)
+      if (Caps[L].size() > Caps[Axis].size())
+        Axis = L;
+    AxisOf[NumLevels] = Axis;
+  }
+
+  // Group points into series and order rows by axis capacity.
+  struct Series {
+    std::vector<size_t> Points;
+  };
+  std::map<std::string, Series> BySeries;
+  for (size_t I = 0; I < Doc.Points.size(); ++I) {
+    const SweepPoint &P = Doc.Points[I];
+    if (!P.Ok)
+      continue;
+    unsigned Axis = AxisOf[P.Cache.numLevels()];
+    std::string Key;
+    for (unsigned L = 0; L < P.Cache.numLevels(); ++L) {
+      if (L != 0)
+        Key += " + ";
+      Key += "L" + std::to_string(L + 1) + "[" +
+             levelDesc(P.Cache.Levels[L], L == Axis) + "]";
+    }
+    if (P.Cache.numLevels() == 2)
+      Key += std::string(" (") + inclusionName(P.Cache.Inclusion) + ")";
+    Key += "  axis: L" + std::to_string(Axis + 1) + " capacity";
+    BySeries[Key].Points.push_back(I);
+  }
+
+  for (auto &[Key, S] : BySeries) {
+    unsigned Axis = AxisOf[Doc.Points[S.Points.front()].Cache.numLevels()];
+    std::stable_sort(S.Points.begin(), S.Points.end(),
+                     [&](size_t A, size_t B) {
+                       return Doc.Points[A].Cache.Levels[Axis].SizeBytes <
+                              Doc.Points[B].Cache.Levels[Axis].SizeBytes;
+                     });
+    std::printf("\nseries   %s\n", Key.c_str());
+    std::printf("%10s %14s %14s %10s %-16s %9s\n", "capacity",
+                "L1-misses", "L2-misses", "ratio", "method", "time[s]");
+    for (size_t I : S.Points) {
+      const SweepPoint &P = Doc.Points[I];
+      const SimStats &St = P.Stats;
+      char L2Buf[24] = "-";
+      if (St.NumLevels > 1)
+        std::snprintf(L2Buf, sizeof(L2Buf), "%llu",
+                      static_cast<unsigned long long>(
+                          St.Level[1].Misses));
+      // The headline ratio: misses of the LAST level over all accesses
+      // (the hierarchy's traffic to memory), Fig. 9's y axis.
+      double Ratio =
+          St.Level[0].Accesses == 0
+              ? 0.0
+              : static_cast<double>(
+                    St.Level[St.NumLevels - 1].Misses) /
+                    static_cast<double>(St.Level[0].Accesses);
+      std::printf("%10s %14llu %14s %9.3f%% %-16s %9.4f\n",
+                  capacityStr(P.Cache.Levels[Axis].SizeBytes).c_str(),
+                  static_cast<unsigned long long>(St.Level[0].Misses),
+                  L2Buf, 100.0 * Ratio, sweepMethodName(P.Method),
+                  St.Seconds);
+    }
+  }
+  if (Failed) {
+    std::printf("\n%zu point(s) FAILED\n", Failed);
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -134,9 +283,28 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
-  if (CurPath.empty()) {
+  if (BasePath.empty()) {
     usage();
     return 2;
+  }
+  if (CurPath.empty()) {
+    // Single-file mode: render a wcs-sweep document.
+    if (Check) {
+      std::fprintf(stderr,
+                   "error: --check diffs two results files; a single "
+                   "wcs-sweep file only renders\n");
+      return 2;
+    }
+    SweepDoc Doc;
+    std::string Err;
+    if (!readSweepFile(BasePath, Doc, &Err)) {
+      std::fprintf(stderr,
+                   "error: %s\n(single-file mode renders wcs-sweep "
+                   "documents; diffing results needs two files)\n",
+                   Err.c_str());
+      return 2;
+    }
+    return renderSweep(Doc, BasePath);
   }
 
   ResultsDoc Base, Cur;

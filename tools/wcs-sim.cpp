@@ -19,8 +19,10 @@
 // whole PolyBench registry as one batch and --jobs N fans the jobs over
 // N worker threads (counters are identical for every N). --sweep
 // evaluates a whole grid of cache configurations through the sweep
-// driver instead: LRU points are answered from one shared
-// stack-distance pass, the rest are deduplicated simulation jobs.
+// driver instead: single-level LRU points are answered from one shared
+// stack-distance pass, two-level NINE points (--sweep-l2) share one
+// recorded L1-miss-filtered stream per distinct L1, and the rest are
+// deduplicated simulation jobs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -73,30 +75,15 @@ void usage() {
       "                        assoc also takes 'full' "
       "(default 8K:256K:x2,assoc=8)\n"
       "  --sweep-l2 GRID       add an L2 axis (cross product with the L1 "
-      "grid)\n"
+      "grid;\n"
+      "                        points sharing an L1 share one recorded\n"
+      "                        L1-miss-filtered stream, NINE semantics)\n"
       "  --sweep-json FILE     write the sweep as JSON (wcs-sweep "
       "schema)\n"
       "  --jobs N              simulate on N worker threads "
       "(default 1; 0 = all cores)\n"
       "  --dump                print the program tree before simulating\n"
       "  --list                list the PolyBench kernels and exit\n");
-}
-
-bool parseCache(const std::string &Spec, CacheConfig &C) {
-  std::istringstream IS(Spec);
-  std::string Bytes, Assoc, Pol, Extra;
-  if (!std::getline(IS, Bytes, ',') || !std::getline(IS, Assoc, ',') ||
-      !std::getline(IS, Pol, ',') || std::getline(IS, Extra, ','))
-    return false; // Exactly three fields; trailing junk is a typo.
-  uint64_t AssocVal;
-  // Sizes cap at int64 max so a config always serializes as an exact
-  // JSON integer (see Value(uint64_t) in Json.h).
-  if (!parseUInt64(Bytes, C.SizeBytes, INT64_MAX) ||
-      !parseUInt64(Assoc, AssocVal, UINT32_MAX))
-    return false;
-  C.Assoc = static_cast<unsigned>(AssocVal);
-  C.BlockBytes = 64;
-  return parsePolicyName(Pol, C.Policy);
 }
 
 void printStats(const char *Tag, const SimStats &S) {
@@ -195,13 +182,13 @@ int main(int argc, char **argv) {
       }
       Params[ParamName] = ParamVal;
     } else if (A == "--l1") {
-      if (!parseCache(Next(), L1)) {
+      if (!parseCacheSpec(Next(), L1)) {
         std::fprintf(stderr, "error: bad --l1 spec\n");
         return 2;
       }
       HasL1 = true;
     } else if (A == "--l2") {
-      if (!parseCache(Next(), L2)) {
+      if (!parseCacheSpec(Next(), L2)) {
         std::fprintf(stderr, "error: bad --l2 spec\n");
         return 2;
       }

@@ -5,20 +5,25 @@
 //
 // Companion tool to wcs-sim: exports the memory trace of a polyhedral
 // program in Dinero "din" format (so the reproduction can be cross-
-// checked against an actual Dinero IV installation), or prints the
-// exact stack-distance histogram and the resulting miss-ratio curve for
+// checked against an actual Dinero IV installation), prints the exact
+// stack-distance histogram and the resulting miss-ratio curve for
 // fully-associative LRU caches (the stack histograms of Mattson et al.
-// that the paper's related-work section discusses).
+// that the paper's related-work section discusses), or dumps the
+// L1-miss-filtered stream of a given L1 configuration -- the exact
+// access stream a NINE L2 sees, and the recording the sweep driver's
+// multi-level fast path shares across grid points.
 //
 //   wcs-trace --kernel jacobi-1d --size mini --din > trace.din
 //   wcs-trace --kernel gemm --size small --curve
 //   wcs-trace --file mykernel.c --param N=512 --histogram
+//   wcs-trace --kernel gemm --size mini --filtered 4096,8,plru
 //
 //===----------------------------------------------------------------------===//
 
 #include "wcs/frontend/Frontend.h"
 #include "wcs/polybench/Polybench.h"
 #include "wcs/support/StringUtil.h"
+#include "wcs/trace/FilteredStream.h"
 #include "wcs/trace/StackDistance.h"
 #include "wcs/trace/TraceGenerator.h"
 
@@ -40,9 +45,13 @@ void usage() {
       "  --size S / --param NAME=VALUE\n"
       "  --scalars                     include scalar accesses\n"
       "modes:\n"
-      "  --din        emit the trace in Dinero IV 'din' format\n"
-      "  --histogram  print the exact stack-distance histogram\n"
-      "  --curve      print the fully-associative LRU miss-ratio curve\n");
+      "  --din             emit the trace in Dinero IV 'din' format\n"
+      "  --histogram       print the exact stack-distance histogram\n"
+      "  --curve           print the fully-associative LRU miss-ratio "
+      "curve\n"
+      "  --filtered L1CFG  emit the L1-miss-filtered stream (din format,\n"
+      "                    block-aligned addresses) of the L1 config\n"
+      "                    BYTES,ASSOC,POLICY -- what a NINE L2 sees\n");
 }
 
 
@@ -53,6 +62,7 @@ int main(int argc, char **argv) {
   ProblemSize Size = ProblemSize::Mini;
   std::map<std::string, int64_t> Params;
   TraceOptions TO;
+  CacheConfig FilterL1;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -87,6 +97,22 @@ int main(int argc, char **argv) {
     } else if (A == "--scalars") {
       TO.IncludeScalars = true;
     } else if (A == "--din" || A == "--histogram" || A == "--curve") {
+      Mode = A;
+    } else if (A == "--filtered") {
+      const char *Spec = Next();
+      if (!parseCacheSpec(Spec, FilterL1)) {
+        std::fprintf(stderr,
+                     "error: --filtered expects BYTES,ASSOC,POLICY, got "
+                     "'%s'\n",
+                     Spec);
+        return 2;
+      }
+      std::string CfgErr = FilterL1.validate();
+      if (!CfgErr.empty()) {
+        std::fprintf(stderr, "error: --filtered %s: %s\n", Spec,
+                     CfgErr.c_str());
+        return 2;
+      }
       Mode = A;
     } else if (A == "--help" || A == "-h") {
       usage();
@@ -124,6 +150,29 @@ int main(int argc, char **argv) {
       return 1;
     }
     P = std::move(PR.Program);
+  }
+
+  if (Mode == "--filtered") {
+    // One concrete L1 simulation, dumping the misses: the din-format
+    // stream a NINE L2 of this L1 would see. Addresses are block
+    // starts (the filter works at block granularity).
+    SimOptions SO;
+    SO.IncludeScalars = TO.IncludeScalars;
+    FilteredStream FS = FilteredStream::record(P, FilterL1, SO);
+    std::printf("# %s: L1-filtered stream of %s\n", P.Name.c_str(),
+                FilterL1.str().c_str());
+    std::printf("# accesses=%llu l1-misses=%llu (%.3f%%)\n",
+                static_cast<unsigned long long>(FS.l1Accesses()),
+                static_cast<unsigned long long>(FS.l1Misses()),
+                100.0 * FS.l1Stats().missRatio());
+    unsigned Shift = 0;
+    while ((1u << Shift) < FilterL1.BlockBytes)
+      ++Shift;
+    for (const FilteredRecord &R : FS.records())
+      std::printf("%d %llx\n", R.IsWrite ? 1 : 0,
+                  static_cast<unsigned long long>(
+                      static_cast<uint64_t>(R.Block) << Shift));
+    return 0;
   }
 
   if (Mode == "--din") {
