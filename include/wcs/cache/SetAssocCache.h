@@ -43,6 +43,11 @@ struct AccessOutcome {
   bool Inserted = false;   ///< A new line was allocated.
   unsigned Set = 0;        ///< Logical set index.
   unsigned Way = 0;        ///< Way of the (hit or inserted) line.
+  /// On a hit: the way the line occupied BEFORE the policy update. Under
+  /// LRU the lines of a set sit in recency order, so this is the per-set
+  /// stack distance of the access (the quantity Mattson histograms
+  /// count); the depth-profiling passes of trace/PeriodicPass read it.
+  unsigned HitDepth = 0;
   bool EvictedValid = false;
   bool EvictedDirty = false;
   BlockId EvictedBlock = kInvalidBlock;
@@ -99,6 +104,7 @@ public:
     for (unsigned I = 0; I < Assoc; ++I) {
       if (W[I].Block == B) {
         R.Hit = true;
+        R.HitDepth = I;
         R.Way = onHit(S, W, I);
         return R;
       }
@@ -185,6 +191,30 @@ public:
     }
     }
     return 0;
+  }
+
+  /// Exact logical-state equality: line contents in logical (set, way)
+  /// order plus the replacement metadata that decides future victims.
+  /// The internal rotation base and the MRA anchor are representation
+  /// details with no effect on future hit/miss behavior, so they are
+  /// deliberately NOT compared. Used by the periodic replay fast path of
+  /// trace/FilteredStream to prove that one more period repetition maps
+  /// the cache onto itself (and may then be applied analytically).
+  bool stateEquals(const SetAssocCache &O) const {
+    if (Sets != O.Sets || Assoc != O.Assoc || Cfg.Policy != O.Cfg.Policy)
+      return false;
+    for (unsigned S = 0; S < Sets; ++S) {
+      for (unsigned W = 0; W < Assoc; ++W) {
+        const LineT &A = line(S, W), &B = O.line(S, W);
+        if (A.Block != B.Block || A.Dirty != B.Dirty)
+          return false;
+        if (Cfg.Policy == PolicyKind::QuadAgeLru && age(S, W) != O.age(S, W))
+          return false;
+      }
+      if (Cfg.Policy == PolicyKind::Plru && plruBits(S) != O.plruBits(S))
+        return false;
+    }
+    return true;
   }
 
   /// Applies the set rotation `s -> s + Amount (mod Sets)` to the whole

@@ -123,6 +123,15 @@ public:
   /// Runs all jobs and blocks until completion.
   BatchReport run(const std::vector<BatchJob> &Jobs);
 
+  /// Fans a list of independent thunks across the pool and blocks until
+  /// all have run (same dynamic scheduling as run(), minus the
+  /// simulation plumbing). Used by the sweep driver for work that is
+  /// not a simulation job -- filtered-stream recordings, periodic
+  /// passes -- but parallelizes the same way. Tasks must not throw;
+  /// each task owns its slot's data, so no locking is needed as long as
+  /// tasks touch disjoint state.
+  void runTasks(const std::vector<std::function<void()>> &Tasks);
+
   /// Executes a single job synchronously on the calling thread (the unit
   /// of work the pool dispatches; exposed for tests and single-job
   /// callers).

@@ -11,12 +11,18 @@
 /// per configuration. Two mechanisms stack:
 ///
 ///  - Single-level write-allocate LRU points are answered analytically
-///    from ONE shared trace pass: the pass feeds a per-set
-///    stack-distance bank (SetDistanceBank) per distinct (block size,
-///    set count) geometry, and every associativity of a geometry -- and
-///    thus every capacity point -- falls out of the Mattson inclusion
-///    property without further work. K LRU capacity points cost one
-///    trace generation instead of K simulations.
+///    from shared stack-distance passes: a per-set stack-distance bank
+///    (SetDistanceBank) per distinct (block size, set count) geometry,
+///    and every associativity of a geometry -- and thus every capacity
+///    point -- falls out of the Mattson inclusion property without
+///    further work. K LRU capacity points cost one shared pass instead
+///    of K simulations. The pass itself comes in two flavors: for long
+///    traces (decided by a cheap counting pre-walk) each bank is
+///    produced by a warp-aware periodic pass (trace/PeriodicPass) that
+///    skips periodic trace phases analytically and is sublinear in
+///    trace length like warping itself; short traces, and sweeps with
+///    WarpSweep off, use ONE linear trace walk feeding all banks.
+///    Both flavors are bit-identical.
 ///
 ///  - Two-level NINE points are grouped by their L1 configuration: the
 ///    L1-miss-filtered access stream of each distinct L1 is recorded
@@ -116,36 +122,75 @@ struct SweepPoint {
 
 struct SweepOptions {
   SimOptions Sim;
-  /// Worker threads for the simulated partition (0 = all cores).
+  /// Worker threads for the simulated partition, the filtered-stream
+  /// recordings and the periodic passes (0 = all cores).
   unsigned Threads = 1;
   /// Backend for points no fast path can answer.
   SimBackend Backend = SimBackend::Warping;
-  /// Cap on the records of one L1-miss-filtered stream (memory guard: a
-  /// record is 16 bytes). A recording that would exceed it is aborted
-  /// and its grid points fall back to full simulation with method
-  /// "simulated". 0 = unlimited. The default bounds a stream at 1 GiB.
+  /// Cap on the STORED records of one L1-miss-filtered stream (memory
+  /// guard: a record is 16 bytes). Streams are run-length encoded, so
+  /// periodic streams stay far below their logical length; a recording
+  /// that would exceed the cap even compressed is aborted and its grid
+  /// points fall back to full simulation with method "simulated".
+  /// 0 = unlimited. The default bounds a stream at 1 GiB.
   uint64_t MaxFilteredRecords = 1ull << 26;
+  /// Warp-aware sweeping: produce the single-level LRU banks by
+  /// per-geometry periodic passes (trace/PeriodicPass) when the trace
+  /// is long, instead of the linear shared walk. Results are
+  /// bit-identical either way; this only moves the crossover at which
+  /// the sweep beats independent warping runs. false = always the
+  /// linear walk (the wcs-sim --no-warp-sweep escape hatch).
+  bool WarpSweep = true;
+  /// Trace length (in accesses) at which the periodic pass takes over
+  /// from the linear walk. Decided by a counting pre-walk that aborts
+  /// at the threshold, so the probe costs a few ms at most. Below it
+  /// the linear walk is already cheap and the per-bank warping runs
+  /// would not pay for themselves (a cache that never fills never
+  /// warps). 0 = periodic whenever WarpSweep is on.
+  uint64_t WarpSweepMinAccesses = 2ull << 20;
 };
 
 /// Everything runSweep returns: per-point results in input order plus
 /// the shared-pass and partition figures.
 struct SweepReport {
   std::vector<SweepPoint> Points; ///< Indexed by input config order.
-  double TracePassSeconds = 0.0;  ///< Cost of the shared trace pass.
-  uint64_t TraceAccesses = 0;     ///< Accesses in the shared pass.
+  double TracePassSeconds = 0.0;  ///< Cost of the linear shared pass.
+  uint64_t TraceAccesses = 0;     ///< Accesses in the shared pass(es).
   unsigned NumBanks = 0;          ///< Distinct (block, sets) geometries.
   size_t StackDistancePoints = 0; ///< Points answered analytically.
+  /// Warp-aware sweeping: true when the banks came from periodic
+  /// passes (one warping depth-profile run per geometry) instead of
+  /// the linear walk.
+  bool PeriodicPass = false;
+  double PeriodicPassSeconds = 0.0;   ///< Sum of per-bank pass times.
+  uint64_t PeriodicWarps = 0;         ///< Warps across all passes.
+  uint64_t PeriodicWarpedAccesses = 0;///< Accesses skipped analytically.
   size_t FilteredPoints = 0;      ///< Points answered via filtered streams.
   unsigned FilteredGroups = 0;    ///< Distinct L1 configs recorded.
-  uint64_t FilteredRecords = 0;   ///< Records across all streams.
+  uint64_t FilteredRecords = 0;   ///< Logical records across all streams.
+  uint64_t FilteredStoredRecords = 0; ///< Stored after RLE compression.
   double RecordSeconds = 0.0;     ///< Stream recording + bank feeding.
+  /// L1 configs of groups demoted to full simulation because their
+  /// recording overran the stream cap even after compression; tools
+  /// surface these so the method change is visible interactively.
+  std::vector<std::string> DemotedL1s;
   size_t SimulatedJobs = 0;       ///< Jobs actually run (after dedup).
   size_t ReplayJobs = 0;          ///< Of those, filtered-stream replays.
   size_t DedupedPoints = 0;       ///< Simulated points sharing a job.
+  double SimulatedSeconds = 0.0;  ///< Sum of full-simulation job times.
+  double ReplaySeconds = 0.0;     ///< Sum of stream-replay job times.
   double WallSeconds = 0.0;
   unsigned Threads = 1;
 
   bool allOk() const;
+  /// Wall time attributed to the stack-distance method (whichever pass
+  /// flavor ran).
+  double stackDistanceSeconds() const {
+    return TracePassSeconds + PeriodicPassSeconds;
+  }
+  /// Wall time attributed to the filtered-stream method (recording +
+  /// bank conditioning + replays).
+  double filteredSeconds() const { return RecordSeconds + ReplaySeconds; }
   /// One-line partition/cost summary for tools.
   std::string summary() const;
 };
@@ -166,6 +211,10 @@ inline constexpr const char SweepSchemaName[] = "wcs-sweep";
 inline constexpr int64_t SweepSchemaVersion = 1;
 
 /// A whole sweep file: producer metadata, shared-pass figures, points.
+/// The periodic-pass and per-method-seconds figures joined the v1
+/// schema after its first release: always written, optional on read
+/// (defaulting to 0/false/empty, which is what pre-periodic sweeps
+/// genuinely had), so older v1 files keep parsing.
 struct SweepDoc {
   std::string Tool;     ///< Producing tool ("wcs-sim").
   std::string Program;  ///< Swept program (kernel name or file).
@@ -173,13 +222,28 @@ struct SweepDoc {
   unsigned Threads = 1;
   double TracePassSeconds = 0.0;
   uint64_t TraceAccesses = 0;
+  bool PeriodicPass = false;          ///< Warp-aware pass produced the banks.
+  double PeriodicPassSeconds = 0.0;   ///< Sum of per-bank pass times.
+  uint64_t PeriodicWarps = 0;
+  uint64_t PeriodicWarpedAccesses = 0;
   unsigned FilteredGroups = 0;  ///< Distinct L1 streams recorded.
-  uint64_t FilteredRecords = 0; ///< Records across all streams.
+  uint64_t FilteredRecords = 0; ///< Logical records across all streams.
+  uint64_t FilteredStoredRecords = 0; ///< Stored after RLE compression.
   double RecordSeconds = 0.0;   ///< Stream recording + bank feeding.
+  double ReplaySeconds = 0.0;   ///< Stream-replay job times.
+  double SimulatedSeconds = 0.0;///< Full-simulation job times.
+  std::vector<std::string> DemotedL1s; ///< Cap-demoted L1 groups.
   size_t SimulatedJobs = 0;
   size_t DedupedPoints = 0;
   std::vector<SweepPoint> Points;
 };
+
+/// One-line per-method breakdown of a sweep document -- point counts
+/// and attributed seconds per method, periodic-pass provenance -- used
+/// verbatim by wcs-sim (on a freshly packaged report) and by
+/// wcs-report's single-file rendering, so the live run and the
+/// artifact rendering can never drift apart.
+std::string methodBreakdownLine(const SweepDoc &D);
 
 json::Value toJson(const SweepPoint &P);
 bool fromJson(const json::Value &V, SweepPoint &Out, std::string *Err);

@@ -47,6 +47,9 @@ struct SymAccessOutcome {
   bool L1Hit = false;
   bool L2Accessed = false;
   bool L2Hit = false;
+  /// On an L1 hit: the way the line occupied before the policy update
+  /// (under LRU the per-set stack distance; see AccessOutcome::HitDepth).
+  unsigned L1HitDepth = 0;
 };
 
 /// One- or two-level symbolic hierarchy with Eq. (24) semantics.

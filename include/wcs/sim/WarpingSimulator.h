@@ -47,6 +47,26 @@ public:
   /// Simulates the whole program on an initially empty hierarchy.
   SimStats run();
 
+  /// Enables L1 hit-depth profiling: run() then additionally produces
+  /// the histogram of per-set stack distances of all hits (depthHist()).
+  /// Requires a single-level write-allocate LRU configuration, where a
+  /// hit's pre-update way IS its per-set stack distance; the histogram
+  /// of an A-way run is thus the Mattson histogram truncated at depth A
+  /// (everything at or beyond A is a miss), from which the miss count
+  /// of EVERY associativity up to A follows. Warps contribute their
+  /// repetitions analytically: the depth sequence of a verified match
+  /// window repeats exactly (Theorem 3's state bijection preserves
+  /// per-set recency positions, which are invariant under the set
+  /// rotations and block shifts a warp applies), so the window's
+  /// histogram delta is scaled by the repetition count -- the
+  /// trace-pass analogue of warping itself, and the engine behind
+  /// trace/PeriodicPass. Call before run().
+  void enableDepthProfile();
+
+  /// Hit counts by L1 stack depth (size = L1 associativity); valid
+  /// after a run() with enableDepthProfile().
+  const std::vector<uint64_t> &depthHist() const { return DepthHist; }
+
   /// The symbolic hierarchy state after run().
   const SymbolicHierarchy &hierarchy() const { return Cache; }
 
@@ -82,6 +102,9 @@ private:
   std::vector<int64_t> DeltaUnit;
   uint64_t TotalLines = 0;
   std::vector<std::unique_ptr<Activation>> Pools;
+  /// Depth profiling (enableDepthProfile): hit counts by L1 stack depth.
+  std::vector<uint64_t> DepthHist;
+  bool DepthProfile = false;
 };
 
 } // namespace wcs

@@ -15,14 +15,26 @@
 /// configuration and every (L1, L2) grid point sharing that L1 follows
 /// without re-simulating the L1.
 ///
-/// Two consumers stack on a recorded stream:
+/// Filtered streams of polyhedral programs are themselves strongly
+/// periodic (the same loop structure that makes warping work), so a
+/// recorded stream is stored run-length encoded: a trace-level period
+/// detector finds segments whose records repeat an IDENTICAL sequence
+/// and stores one copy plus a repetition count. Compression is exact
+/// (only verified verbatim repeats are folded), shrinks the stream
+/// memory the MaxRecords cap guards -- a recording that would overrun
+/// the cap first compresses and only truncates when the stream really
+/// is incompressible -- and opens sublinear consumption:
 ///
-///  - replay(): drive the records through a concrete L2 of any policy
+///  - replay(): drives the records through a concrete L2 of any policy
 ///    and write-miss mode, reproducing the two-level NINE counters bit
-///    for bit at the cost of the (much shorter) filtered stream;
-///  - feed(): condition a per-set stack-distance bank on the stream, so
-///    every LRU write-allocate L2 geometry sharing a (block, sets)
-///    shape is answered analytically, with no per-point replay at all.
+///    for bit. Repeated segments walk until the L2 state maps onto
+///    itself across one repetition (an exact state comparison), then
+///    apply the remaining repetitions analytically; if the state never
+///    recurs, every repetition is walked -- the sound fallback.
+///  - feed(): conditions a per-set stack-distance bank on the stream.
+///    Repeated segments walk twice (the second repetition under a
+///    period capture) and enter the bank's bulk update
+///    (SetDistanceBank::addPeriodicContribution) for the rest.
 ///
 /// Inclusive and exclusive hierarchies couple the L1 to the L2
 /// (back-invalidation, victim caching), so their L1 streams depend on
@@ -54,6 +66,19 @@ struct FilteredRecord {
   bool IsWrite;
 };
 
+inline bool operator==(const FilteredRecord &A, const FilteredRecord &B) {
+  return A.Block == B.Block && A.IsWrite == B.IsWrite;
+}
+
+/// One segment of a run-length-encoded stream: the stored records
+/// [Offset, Offset + Len) replayed Reps times back to back. Reps == 1
+/// is a literal segment.
+struct FilteredSegment {
+  size_t Offset = 0;
+  uint64_t Len = 0;
+  uint64_t Reps = 1;
+};
+
 /// The L1-miss-filtered access stream of one program under one L1
 /// configuration, plus the L1 counters of the recording run.
 class FilteredStream {
@@ -62,18 +87,41 @@ public:
 
   /// Records the stream: one concrete simulation of \p L1 alone over
   /// \p Program, appending a record per L1 miss. When \p MaxRecords is
-  /// nonzero and the stream would exceed it, recording aborts early and
-  /// the result is truncated() -- unusable for answering grid points,
-  /// so callers must fall back to full simulation.
+  /// nonzero it caps the STORED records: a stream about to overrun it
+  /// is first period-compressed, and only when that cannot free room
+  /// does recording abort with a truncated() result -- unusable for
+  /// answering grid points, so callers must fall back to full
+  /// simulation.
   static FilteredStream record(const ScopProgram &Program,
                                const CacheConfig &L1,
                                const SimOptions &Opts = SimOptions(),
                                uint64_t MaxRecords = 0);
 
   const CacheConfig &l1() const { return L1; }
-  const std::vector<FilteredRecord> &records() const { return Records; }
-  size_t size() const { return Records.size(); }
+
+  /// Length of the (logical, expanded) stream: the number of L1 misses.
+  uint64_t size() const { return Expanded; }
+  /// Records physically stored after run-length encoding (what the
+  /// MaxRecords cap bounds).
+  size_t storedRecords() const { return Records.size(); }
+  /// The RLE segment cover of the stream, in stream order.
+  const std::vector<FilteredSegment> &segments() const { return Segments; }
+  /// True when at least one segment folds repetitions.
+  bool compressed() const {
+    for (const FilteredSegment &S : Segments)
+      if (S.Reps > 1)
+        return true;
+    return false;
+  }
   bool truncated() const { return Truncated; }
+
+  /// Visits every record of the expanded stream, in stream order.
+  template <typename Fn> void forEachRecord(Fn &&F) const {
+    for (const FilteredSegment &S : Segments)
+      for (uint64_t R = 0; R < S.Reps; ++R)
+        for (uint64_t I = 0; I < S.Len; ++I)
+          F(Records[S.Offset + I]);
+  }
 
   /// L1 counters of the recording run. l1Misses() == size(): in NINE
   /// every L1 miss -- including a non-allocating write miss -- accesses
@@ -100,25 +148,37 @@ public:
            L2.WriteAlloc == WriteAllocate::Yes;
   }
 
-  /// Conditions \p Bank on the stream (one call per record, in order).
-  /// The bank's block size must equal the L1's: levels of a hierarchy
-  /// share one block size, so records are already at L2 block
-  /// granularity.
+  /// Conditions \p Bank on the (expanded) stream. The bank's block size
+  /// must equal the L1's: levels of a hierarchy share one block size,
+  /// so records are already at L2 block granularity. Repeated segments
+  /// are applied analytically after two concrete walks (see file
+  /// comment), so the cost is sublinear in size() on periodic streams
+  /// while the conditioned bank stays bit-identical.
   void feed(SetDistanceBank &Bank) const;
 
   /// Replays the stream through a concrete L2 \p L2 and returns the
   /// full two-level NINE counters: Level[0] from the recording run,
   /// Level[1] from the replay. Stats.Seconds is the replay time only
   /// (the recording is shared across many replays; attribution is the
-  /// caller's policy).
+  /// caller's policy); Stats.SimulatedAccesses counts the records
+  /// actually walked (repetitions skipped via state recurrence are
+  /// accounted analytically, like warped accesses elsewhere).
   SimStats replay(const CacheConfig &L2) const;
 
 private:
+  /// Appends one record to the trailing literal segment.
+  void appendRecord(const FilteredRecord &R);
+  /// Period-compresses the trailing literal segment in place. Returns
+  /// the number of stored records freed.
+  size_t compressTail();
+
   CacheConfig L1;
   LevelStats L1Stats;
   double Seconds = 0.0;
   bool Truncated = false;
-  std::vector<FilteredRecord> Records;
+  uint64_t Expanded = 0;
+  std::vector<FilteredRecord> Records;  ///< Stored (compressed) records.
+  std::vector<FilteredSegment> Segments; ///< Ordered cover of the stream.
 };
 
 } // namespace wcs

@@ -32,6 +32,28 @@
 
 namespace wcs {
 
+/// A stack-distance histogram fragment: the contribution one trace
+/// segment (typically one verified period of a periodic access stream)
+/// makes to a profile. The periodic fast paths capture a fragment by
+/// walking ONE period and then apply the remaining repetitions
+/// analytically through SetDistanceBank::addPeriodicContribution.
+struct DistanceHistogram {
+  /// Hit counts by exact per-set stack distance (index = distance).
+  std::vector<uint64_t> Hist;
+  /// Accesses known only to miss at every answerable associativity:
+  /// distances at or beyond a truncation depth (a depth-profiling run
+  /// observes hits only up to its cache's ways).
+  uint64_t Beyond = 0;
+  /// Cold (first-touch) accesses. Kept apart from Beyond because a
+  /// nonzero cold count falsifies the stationarity a captured period
+  /// needs (a repetition of an identical block sequence cannot touch a
+  /// new block), so consumers use it as a verification signal before
+  /// scaling the fragment.
+  uint64_t Colds = 0;
+  /// Accesses covered by the fragment (== Colds + Beyond + sum of Hist).
+  uint64_t Accesses = 0;
+};
+
 /// Online exact stack-distance profiler at block granularity.
 class StackDistanceProfiler {
 public:
@@ -44,7 +66,8 @@ public:
 
   /// Records an access to byte address \p Addr.
   void accessAddr(int64_t Addr) { accessBlock(Addr >> BlockShift); }
-  void accessBlock(BlockId B);
+  /// Records an access; returns its stack distance, or -1 when cold.
+  int64_t accessBlock(BlockId B);
 
   /// Number of cold (first-touch) accesses.
   uint64_t coldAccesses() const { return Colds; }
@@ -101,21 +124,82 @@ public:
   /// record of an L1-miss-filtered stream; the block size of the
   /// producing L1 must equal this bank's).
   void accessBlock(BlockId B) {
-    Sets[static_cast<size_t>(static_cast<uint64_t>(B) & SetMask)]
-        .accessBlock(B);
+    int64_t D = Sets[static_cast<size_t>(static_cast<uint64_t>(B) & SetMask)]
+                    .accessBlock(B);
     ++Total;
+    if (Capturing) {
+      ++Capture.Accesses;
+      if (D < 0) {
+        ++Capture.Colds;
+      } else {
+        uint64_t UD = static_cast<uint64_t>(D);
+        if (Capture.Hist.size() <= UD)
+          Capture.Hist.resize(UD + 1, 0);
+        ++Capture.Hist[UD];
+      }
+    }
   }
 
   uint64_t totalAccesses() const { return Total; }
 
+  //===--------------------------------------------------------------------===//
+  // Periodic bulk updates (the sublinear fast path)
+  //===--------------------------------------------------------------------===//
+  //
+  // When an access stream contains a segment that repeats an identical
+  // block sequence, the histogram increments of every repetition after
+  // the first are identical: each block's previous access lies at a
+  // fixed offset within the previous repetition, and the distinct-block
+  // count of that window is the same in every repetition (the window
+  // content is a verbatim copy). The per-set profilers' internal marker
+  // structures are likewise position-for-position equivalent after each
+  // repetition, so skipping repetitions analytically leaves every later
+  // distance bit-identical: the markers simply stay at their
+  // second-repetition timestamps while the logical access count
+  // advances. Consumers therefore walk one repetition concretely, walk
+  // the next one under beginPeriodCapture()/endPeriodCapture(), and add
+  // the remaining N-2 analytically with addPeriodicContribution.
+
+  /// Starts capturing the histogram increments of subsequent
+  /// accessBlock calls (one verified period of a periodic stream).
+  void beginPeriodCapture() {
+    Capture = DistanceHistogram();
+    Capturing = true;
+  }
+
+  /// Stops capturing and returns the increments since
+  /// beginPeriodCapture. A nonzero Colds count in the result falsifies
+  /// periodicity (see DistanceHistogram::Colds) and callers must then
+  /// fall back to walking the repetitions.
+  DistanceHistogram endPeriodCapture() {
+    Capturing = false;
+    return std::move(Capture);
+  }
+
+  /// Bulk analytic update: adds \p Reps copies of fragment \p H to the
+  /// bank, as if the accesses had been replayed, without touching the
+  /// per-set profiler state (which is exactly the point: after a
+  /// repetition of an identical block sequence the profilers already
+  /// sit in an equivalent state). When \p TruncatedAtAssoc is nonzero,
+  /// \p H came from a depth-profiling run that observes distances only
+  /// below that associativity, and the bank afterwards answers only
+  /// configurations with at most that many ways (enforced by matches()).
+  void addPeriodicContribution(const DistanceHistogram &H, uint64_t Reps,
+                               unsigned TruncatedAtAssoc = 0);
+
+  /// 0 when the bank is exact at every associativity; otherwise the
+  /// largest associativity it can answer.
+  unsigned truncatedAtAssoc() const { return TruncAssoc; }
+
   /// Misses of the set-associative LRU cache with this bank's geometry
   /// and \p Assoc ways: per set, cold accesses plus accesses at stack
-  /// distance >= Assoc.
+  /// distance >= Assoc (plus any bulk periodic contributions).
   uint64_t missesForAssoc(uint64_t Assoc) const;
 
   /// True when \p C is answerable from this bank: same block size and
   /// set count, LRU, write-allocate (a non-allocating write miss leaves
-  /// the stack untouched in hardware but not in the histogram).
+  /// the stack untouched in hardware but not in the histogram), and an
+  /// associativity within the bank's truncation depth (if any).
   bool matches(const CacheConfig &C) const;
 
   /// Miss count of \p C; \p C must satisfy matches().
@@ -126,6 +210,14 @@ private:
   uint64_t SetMask;
   uint64_t Total = 0;
   std::vector<StackDistanceProfiler> Sets;
+  /// Analytic contributions from addPeriodicContribution, kept apart
+  /// from the per-set profilers (they are pure output, never part of
+  /// the profilers' evolving state).
+  std::vector<uint64_t> BulkHist;
+  uint64_t BulkAlwaysMiss = 0; ///< Beyond-truncation + cold fragments.
+  unsigned TruncAssoc = 0;     ///< 0 = exact at every associativity.
+  bool Capturing = false;
+  DistanceHistogram Capture;
 };
 
 /// Profiles every (array) access of \p Program; scalar accesses are

@@ -191,38 +191,53 @@ bool wcs::parseJobCount(const char *Text, unsigned &Out) {
   return true;
 }
 
-BatchReport BatchRunner::run(const std::vector<BatchJob> &Jobs) {
-  BatchReport Report;
-  Report.Results.resize(Jobs.size());
-  Report.Threads = std::min<size_t>(NumThreads, std::max<size_t>(1, Jobs.size()));
-
-  auto T0 = std::chrono::steady_clock::now();
-
+void BatchRunner::runTasks(const std::vector<std::function<void()>> &Tasks) {
+  unsigned Threads = static_cast<unsigned>(std::min<size_t>(
+      NumThreads, std::max<size_t>(1, Tasks.size())));
   std::atomic<size_t> Cursor{0};
-  std::mutex ProgressMutex;
   auto Worker = [&]() {
     for (;;) {
       size_t I = Cursor.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Jobs.size())
+      if (I >= Tasks.size())
         return;
+      Tasks[I]();
+    }
+  };
+  if (Threads <= 1) {
+    Worker();
+    return;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+BatchReport BatchRunner::run(const std::vector<BatchJob> &Jobs) {
+  BatchReport Report;
+  Report.Results.resize(Jobs.size());
+  Report.Threads = static_cast<unsigned>(
+      std::min<size_t>(NumThreads, std::max<size_t>(1, Jobs.size())));
+
+  auto T0 = std::chrono::steady_clock::now();
+
+  // One thunk per job over the shared fan-out: each task owns its
+  // preallocated result slot, so only the progress callback needs the
+  // lock.
+  std::mutex ProgressMutex;
+  std::vector<std::function<void()>> Tasks;
+  Tasks.reserve(Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Tasks.push_back([this, &Jobs, &Report, &ProgressMutex, I] {
       Report.Results[I] = runJob(Jobs[I], I);
       if (Progress) {
         std::lock_guard<std::mutex> Lock(ProgressMutex);
         Progress(Report.Results[I]);
       }
-    }
-  };
-
-  if (Report.Threads <= 1) {
-    Worker();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Report.Threads);
-    for (unsigned T = 0; T < Report.Threads; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+    });
+  runTasks(Tasks);
 
   Report.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)

@@ -152,6 +152,13 @@ inline bool optDouble(const json::Value &V, const char *Key, double &Out,
   return V.find(Key) == nullptr || needDouble(V, Key, Out, Err);
 }
 
+inline bool optBool(const json::Value &V, const char *Key, bool &Out,
+                    std::string *Err) {
+  if (!V.isObject())
+    return failMsg(Err, "expected an object");
+  return V.find(Key) == nullptr || needBool(V, Key, Out, Err);
+}
+
 } // namespace jsonfield
 } // namespace wcs
 

@@ -11,6 +11,7 @@
 #include "wcs/driver/Results.h"
 #include "wcs/support/StringUtil.h"
 #include "wcs/trace/FilteredStream.h"
+#include "wcs/trace/PeriodicPass.h"
 #include "wcs/trace/StackDistance.h"
 #include "wcs/trace/TraceGenerator.h"
 
@@ -226,18 +227,29 @@ bool SweepReport::allOk() const {
 }
 
 std::string SweepReport::summary() const {
-  char Buf[384];
+  char Pass[128];
+  if (PeriodicPass)
+    std::snprintf(Pass, sizeof(Pass),
+                  "%u periodic warp passes (%llu warps, %.3f s)",
+                  NumBanks,
+                  static_cast<unsigned long long>(PeriodicWarps),
+                  PeriodicPassSeconds);
+  else
+    std::snprintf(Pass, sizeof(Pass),
+                  "one stack-distance pass (%u banks, %.3f s)", NumBanks,
+                  TracePassSeconds);
+  char Buf[512];
   std::snprintf(
       Buf, sizeof(Buf),
-      "%zu points: %zu from one stack-distance pass (%u banks, %.3f s), "
-      "%zu from %u filtered L1 streams (%llu records, %.3f s), %zu fully "
-      "simulated; %zu jobs (%zu replays, %zu deduped) on %u threads; "
-      "%.3f s total",
-      Points.size(), StackDistancePoints, NumBanks, TracePassSeconds,
-      FilteredPoints, FilteredGroups,
-      static_cast<unsigned long long>(FilteredRecords), RecordSeconds,
-      Points.size() - StackDistancePoints - FilteredPoints, SimulatedJobs,
-      ReplayJobs, DedupedPoints, Threads, WallSeconds);
+      "%zu points: %zu from %s, "
+      "%zu from %u filtered L1 streams (%llu records, %llu stored, "
+      "%.3f s), %zu fully simulated; %zu jobs (%zu replays, %zu deduped) "
+      "on %u threads; %.3f s total",
+      Points.size(), StackDistancePoints, Pass, FilteredPoints,
+      FilteredGroups, static_cast<unsigned long long>(FilteredRecords),
+      static_cast<unsigned long long>(FilteredStoredRecords),
+      RecordSeconds, Points.size() - StackDistancePoints - FilteredPoints,
+      SimulatedJobs, ReplayJobs, DedupedPoints, Threads, WallSeconds);
   return Buf;
 }
 
@@ -250,8 +262,9 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
 
   // Partition the grid three ways:
   //  - single-level write-allocate LRU: answered from a per-set
-  //    stack-distance bank keyed on (block size, set count), all banks
-  //    fed by ONE shared trace pass;
+  //    stack-distance bank keyed on (block size, set count), produced
+  //    by a shared pass (periodic warp-aware per bank, or one linear
+  //    walk feeding all banks -- see below);
   //  - two-level NINE: grouped by L1 config; each group records the
   //    L1-miss-filtered stream once, then answers LRU write-allocate
   //    L2s from banks conditioned on the stream and replays the rest
@@ -259,6 +272,7 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
   //  - everything else: a simulation job, deduplicated by exact
   //    configuration.
   std::vector<SetDistanceBank> Banks;
+  std::vector<unsigned> BankMaxAssoc; ///< Largest ways asked of each bank.
   std::map<std::pair<unsigned, unsigned>, size_t> BankIndex;
   struct FastPoint {
     size_t Point;
@@ -304,7 +318,10 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
       if (It == BankIndex.end()) {
         It = BankIndex.emplace(Key, Banks.size()).first;
         Banks.emplace_back(L1.BlockBytes, L1.numSets());
+        BankMaxAssoc.push_back(0);
       }
+      BankMaxAssoc[It->second] =
+          std::max(BankMaxAssoc[It->second], L1.Assoc);
       Fast.push_back(FastPoint{I, It->second});
       continue;
     }
@@ -343,29 +360,109 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
   Rep.NumBanks = static_cast<unsigned>(Banks.size());
   Rep.StackDistancePoints = Fast.size();
 
-  // The shared trace pass: generated once, feeding every bank.
+  // One runner serves the periodic passes, the stream recordings and
+  // the simulated partition (all independent work items).
+  BatchRunner Runner(Opts.Threads);
+  Rep.Threads = Runner.threads();
+
+  // The shared stack-distance pass(es). Two flavors, bit-identical:
+  //  - periodic (warp-aware): one warping depth-profile run per bank
+  //    geometry, sublinear on periodic traces (trace/PeriodicPass);
+  //  - linear: one trace walk feeding every bank.
+  // A counting pre-walk (aborted at the threshold, so it costs a few ms
+  // at most) picks the flavor: short traces walk linearly -- their pass
+  // is already cheap, and warping a cache that never fills cannot pay
+  // for itself -- long traces take the periodic passes.
+  std::vector<PeriodicPassResult> PassResults;
+  double PassProbeSeconds = 0.0;
   if (!Banks.empty()) {
     auto P0 = std::chrono::steady_clock::now();
     TraceOptions TO;
     TO.IncludeScalars = Opts.Sim.IncludeScalars;
-    Rep.TraceAccesses =
-        generateTrace(Program, TO, [&](const TraceRecord &R) {
-          for (SetDistanceBank &B : Banks)
-            B.accessAddr(R.Addr);
+    bool Periodic = false;
+    if (Opts.WarpSweep) {
+      if (Opts.WarpSweepMinAccesses == 0) {
+        Periodic = true;
+      } else {
+        struct LongEnough {};
+        uint64_t Count = 0;
+        try {
+          generateTrace(Program, TO, [&](const TraceRecord &) {
+            if (++Count >= Opts.WarpSweepMinAccesses)
+              throw LongEnough{};
+          });
+        } catch (const LongEnough &) {
+        }
+        Periodic = Count >= Opts.WarpSweepMinAccesses;
+      }
+    }
+    if (Periodic) {
+      Rep.PeriodicPass = true;
+      // The probe walk is pass cost too; count it so the attributed
+      // shares still sum to the real cost of the method.
+      PassProbeSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - P0)
+                             .count();
+      Rep.PeriodicPassSeconds += PassProbeSeconds;
+      PassResults.resize(Banks.size());
+      std::vector<std::function<void()>> Tasks;
+      Tasks.reserve(Banks.size());
+      for (size_t B = 0; B < Banks.size(); ++B)
+        Tasks.push_back([&Program, &Opts, &PassResults, &Banks,
+                         &BankMaxAssoc, B] {
+          PassResults[B] =
+              runPeriodicPass(Program, Banks[B].blockBytes(),
+                              Banks[B].numSets(), BankMaxAssoc[B],
+                              Opts.Sim);
         });
-    Rep.TracePassSeconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - P0)
-                               .count();
+      Runner.runTasks(Tasks);
+      for (size_t B = 0; B < Banks.size(); ++B) {
+        PassResults[B].addTo(Banks[B]);
+        Rep.PeriodicPassSeconds += PassResults[B].Stats.Seconds;
+        Rep.PeriodicWarps += PassResults[B].Stats.Warps;
+        Rep.PeriodicWarpedAccesses +=
+            PassResults[B].Stats.WarpedAccesses;
+      }
+      Rep.TraceAccesses = PassResults.front().Histogram.Accesses;
+    } else {
+      Rep.TraceAccesses =
+          generateTrace(Program, TO, [&](const TraceRecord &R) {
+            for (SetDistanceBank &B : Banks)
+              B.accessAddr(R.Addr);
+          });
+      Rep.TracePassSeconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - P0)
+                                 .count();
+    }
   }
 
   // Record one L1-miss-filtered stream per group and condition the L2
-  // banks on it. A truncated recording (stream cap exceeded) demotes
-  // the whole group to plain simulation with honest provenance.
+  // banks on it -- independent per group, so the recordings fan across
+  // the worker pool. A truncated recording (stream cap exceeded even
+  // after compression) demotes the whole group to plain simulation with
+  // honest provenance.
+  if (!Groups.empty()) {
+    std::vector<std::function<void()>> RecTasks;
+    RecTasks.reserve(Groups.size());
+    for (FilteredGroup &G : Groups)
+      RecTasks.push_back([&Program, &Opts, &G] {
+        G.Stream = FilteredStream::record(Program, G.L1, Opts.Sim,
+                                          Opts.MaxFilteredRecords);
+        if (!G.Stream.truncated() && !G.Banks.empty()) {
+          auto F0 = std::chrono::steady_clock::now();
+          for (SetDistanceBank &B : G.Banks)
+            G.Stream.feed(B);
+          G.FeedSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - F0)
+                              .count();
+        }
+      });
+    Runner.runTasks(RecTasks);
+  }
   for (FilteredGroup &G : Groups) {
-    G.Stream = FilteredStream::record(Program, G.L1, Opts.Sim,
-                                      Opts.MaxFilteredRecords);
-    Rep.RecordSeconds += G.Stream.recordSeconds();
+    Rep.RecordSeconds += G.Stream.recordSeconds() + G.FeedSeconds;
     if (G.Stream.truncated()) {
+      Rep.DemotedL1s.push_back(G.L1.str());
       for (size_t I : G.Members) {
         Rep.Points[I].Method = SweepMethod::Simulated;
         Rep.Points[I].Backend = Opts.Backend;
@@ -378,15 +475,7 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
     ++Rep.FilteredGroups;
     Rep.FilteredPoints += G.Members.size();
     Rep.FilteredRecords += G.Stream.size();
-    if (!G.Banks.empty()) {
-      auto F0 = std::chrono::steady_clock::now();
-      for (SetDistanceBank &B : G.Banks)
-        G.Stream.feed(B);
-      G.FeedSeconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - F0)
-                          .count();
-      Rep.RecordSeconds += G.FeedSeconds;
-    }
+    Rep.FilteredStoredRecords += G.Stream.storedRecords();
   }
 
   // Build the job list: full simulations plus stream replays, both
@@ -434,26 +523,36 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
       ++Rep.ReplayJobs;
 
   // Fan the simulated partition across the workers.
-  Rep.Threads = 1;
   if (!Jobs.empty()) {
-    BatchRunner Runner(Opts.Threads);
-    Rep.Threads = Runner.threads();
     BatchReport BRep = Runner.run(Jobs);
-    for (size_t J = 0; J < Jobs.size(); ++J)
+    for (size_t J = 0; J < Jobs.size(); ++J) {
+      if (BRep.Results[J].Ok) {
+        if (Jobs[J].Filtered)
+          Rep.ReplaySeconds += BRep.Results[J].Stats.Seconds;
+        else
+          Rep.SimulatedSeconds += BRep.Results[J].Stats.Seconds;
+      }
       for (size_t I : JobPoints[J]) {
         SweepPoint &P = Rep.Points[I];
         P.Ok = BRep.Results[J].Ok;
         P.Error = BRep.Results[J].Error;
         P.Stats = BRep.Results[J].Stats;
       }
+    }
   }
 
   // Answer the fast-path points from the histograms. The pass cost is
-  // attributed in equal shares: it is the only cost these points have,
-  // and the shares sum back to the true pass time.
-  double Share =
-      Fast.empty() ? 0.0 : Rep.TracePassSeconds / static_cast<double>(
-                                                      Fast.size());
+  // attributed in equal shares over the points a pass answered (per
+  // bank under periodic passes, where each bank had its own run): it is
+  // the only cost these points have, and the shares sum back to the
+  // true pass time.
+  std::vector<size_t> BankPoints(Banks.size(), 0);
+  for (const FastPoint &F : Fast)
+    ++BankPoints[F.Bank];
+  double EqualShare =
+      Fast.empty() ? 0.0
+                   : (Rep.TracePassSeconds + Rep.PeriodicPassSeconds) /
+                         static_cast<double>(Fast.size());
   for (const FastPoint &F : Fast) {
     SweepPoint &P = Rep.Points[F.Point];
     const SetDistanceBank &Bank = Banks[F.Bank];
@@ -461,8 +560,19 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
     P.Stats.Level[0].Accesses = Bank.totalAccesses();
     P.Stats.Level[0].Misses =
         Bank.missesForCache(P.Cache.Levels.front());
-    P.Stats.SimulatedAccesses = Bank.totalAccesses();
-    P.Stats.Seconds = Share;
+    if (Rep.PeriodicPass) {
+      const SimStats &PassStats = PassResults[F.Bank].Stats;
+      P.Stats.SimulatedAccesses = PassStats.SimulatedAccesses;
+      P.Stats.WarpedAccesses = PassStats.WarpedAccesses;
+      P.Stats.Warps = PassStats.Warps;
+      P.Stats.FailedWarpChecks = PassStats.FailedWarpChecks;
+      P.Stats.Seconds =
+          PassStats.Seconds / static_cast<double>(BankPoints[F.Bank]) +
+          PassProbeSeconds / static_cast<double>(Fast.size());
+    } else {
+      P.Stats.SimulatedAccesses = Bank.totalAccesses();
+      P.Stats.Seconds = EqualShare;
+    }
     P.Ok = true;
   }
 
@@ -496,6 +606,27 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
                         std::chrono::steady_clock::now() - T0)
                         .count();
   return Rep;
+}
+
+std::string wcs::methodBreakdownLine(const SweepDoc &D) {
+  size_t ByMethod[3] = {0, 0, 0};
+  for (const SweepPoint &P : D.Points)
+    if (P.Ok)
+      ++ByMethod[static_cast<unsigned>(P.Method)];
+  char Buf[384];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "stack-distance %zu pts %.3f s (%s)  |  filtered-stream %zu pts "
+      "%.3f s (record %.3f, replay %.3f)  |  simulated %zu pts %.3f s",
+      ByMethod[static_cast<unsigned>(SweepMethod::StackDistance)],
+      D.TracePassSeconds + D.PeriodicPassSeconds,
+      D.PeriodicPass ? "periodic warp pass" : "linear trace pass",
+      ByMethod[static_cast<unsigned>(SweepMethod::FilteredStream)],
+      D.RecordSeconds + D.ReplaySeconds, D.RecordSeconds,
+      D.ReplaySeconds,
+      ByMethod[static_cast<unsigned>(SweepMethod::Simulated)],
+      D.SimulatedSeconds);
+  return Buf;
 }
 
 //===----------------------------------------------------------------------===//
@@ -542,9 +673,20 @@ Value wcs::toJson(const SweepDoc &D) {
   V.set("threads", D.Threads);
   V.set("trace_pass_seconds", D.TracePassSeconds);
   V.set("trace_accesses", D.TraceAccesses);
+  V.set("periodic_pass", D.PeriodicPass);
+  V.set("periodic_pass_seconds", D.PeriodicPassSeconds);
+  V.set("periodic_warps", D.PeriodicWarps);
+  V.set("periodic_warped_accesses", D.PeriodicWarpedAccesses);
   V.set("filtered_groups", D.FilteredGroups);
   V.set("filtered_records", D.FilteredRecords);
+  V.set("filtered_stored_records", D.FilteredStoredRecords);
   V.set("record_seconds", D.RecordSeconds);
+  V.set("replay_seconds", D.ReplaySeconds);
+  V.set("simulated_seconds", D.SimulatedSeconds);
+  Value Demoted = Value::array();
+  for (const std::string &L1 : D.DemotedL1s)
+    Demoted.push(L1);
+  V.set("demoted_l1_groups", std::move(Demoted));
   V.set("simulated_jobs", static_cast<uint64_t>(D.SimulatedJobs));
   V.set("deduped_points", static_cast<uint64_t>(D.DedupedPoints));
   Value Points = Value::array();
@@ -571,26 +713,56 @@ bool wcs::fromJson(const Value &V, SweepDoc &Out, std::string *Err) {
   }
   uint64_t SimJobs, Deduped;
   const Value *Points;
-  // Defaults for the optional fields (absent in pre-engine v1 files).
+  // Defaults for the optional fields (absent in pre-engine and
+  // pre-periodic v1 files).
   Out.FilteredGroups = 0;
   Out.FilteredRecords = 0;
+  Out.FilteredStoredRecords = 0;
   Out.RecordSeconds = 0.0;
+  Out.PeriodicPass = false;
+  Out.PeriodicPassSeconds = 0.0;
+  Out.PeriodicWarps = 0;
+  Out.PeriodicWarpedAccesses = 0;
+  Out.ReplaySeconds = 0.0;
+  Out.SimulatedSeconds = 0.0;
+  Out.DemotedL1s.clear();
   if (!needString(V, "tool", Out.Tool, Err) ||
       !needString(V, "program", Out.Program, Err) ||
       !needString(V, "size", Out.SizeName, Err) ||
       !needU32(V, "threads", Out.Threads, Err) ||
       !needDouble(V, "trace_pass_seconds", Out.TracePassSeconds, Err) ||
       !needUInt(V, "trace_accesses", Out.TraceAccesses, Err) ||
-      // The filtered-stream figures joined the v1 schema after its
-      // first release: optional on read (defaulting to 0, which is
-      // what pre-engine sweeps genuinely had), always written.
+      // The filtered-stream and periodic-pass figures joined the v1
+      // schema after its first release: optional on read (defaulting
+      // to 0/false, which is what older sweeps genuinely had), always
+      // written.
+      !optBool(V, "periodic_pass", Out.PeriodicPass, Err) ||
+      !optDouble(V, "periodic_pass_seconds", Out.PeriodicPassSeconds,
+                 Err) ||
+      !optUInt(V, "periodic_warps", Out.PeriodicWarps, Err) ||
+      !optUInt(V, "periodic_warped_accesses",
+               Out.PeriodicWarpedAccesses, Err) ||
       !optU32(V, "filtered_groups", Out.FilteredGroups, Err) ||
       !optUInt(V, "filtered_records", Out.FilteredRecords, Err) ||
+      !optUInt(V, "filtered_stored_records", Out.FilteredStoredRecords,
+               Err) ||
       !optDouble(V, "record_seconds", Out.RecordSeconds, Err) ||
+      !optDouble(V, "replay_seconds", Out.ReplaySeconds, Err) ||
+      !optDouble(V, "simulated_seconds", Out.SimulatedSeconds, Err) ||
       !needUInt(V, "simulated_jobs", SimJobs, Err) ||
       !needUInt(V, "deduped_points", Deduped, Err) ||
       !needArray(V, "points", Points, Err))
     return false;
+  if (const Value *Demoted = V.find("demoted_l1_groups")) {
+    if (!Demoted->isArray())
+      return failMsg(Err, "member 'demoted_l1_groups' must be an array");
+    for (size_t N = 0; N < Demoted->size(); ++N) {
+      if (!Demoted->at(N).isString())
+        return failMsg(Err,
+                       "member 'demoted_l1_groups' must hold strings");
+      Out.DemotedL1s.push_back(Demoted->at(N).asString());
+    }
+  }
   Out.SimulatedJobs = static_cast<size_t>(SimJobs);
   Out.DedupedPoints = static_cast<size_t>(Deduped);
   Out.Points.clear();
@@ -638,9 +810,17 @@ SweepDoc wcs::makeSweepDoc(std::string Tool, std::string Program,
   D.Threads = Report.Threads;
   D.TracePassSeconds = Report.TracePassSeconds;
   D.TraceAccesses = Report.TraceAccesses;
+  D.PeriodicPass = Report.PeriodicPass;
+  D.PeriodicPassSeconds = Report.PeriodicPassSeconds;
+  D.PeriodicWarps = Report.PeriodicWarps;
+  D.PeriodicWarpedAccesses = Report.PeriodicWarpedAccesses;
   D.FilteredGroups = Report.FilteredGroups;
   D.FilteredRecords = Report.FilteredRecords;
+  D.FilteredStoredRecords = Report.FilteredStoredRecords;
   D.RecordSeconds = Report.RecordSeconds;
+  D.ReplaySeconds = Report.ReplaySeconds;
+  D.SimulatedSeconds = Report.SimulatedSeconds;
+  D.DemotedL1s = Report.DemotedL1s;
   D.SimulatedJobs = Report.SimulatedJobs;
   D.DedupedPoints = Report.DedupedPoints;
   D.Points = Report.Points;

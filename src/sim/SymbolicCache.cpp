@@ -26,6 +26,7 @@ SymAccessOutcome SymbolicHierarchy::access(BlockId B, bool IsWrite,
   bool Alloc1 = !(IsWrite && L1.config().WriteAlloc == WriteAllocate::No);
   AccessOutcome O1 = L1.access(B, Alloc1);
   R.L1Hit = O1.Hit;
+  R.L1HitDepth = O1.HitDepth;
   if (O1.Hit || O1.Inserted) {
     SymLine &L = L1.line(O1.Set, O1.Way);
     L.NodeId = NodeId;

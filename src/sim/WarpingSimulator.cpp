@@ -48,6 +48,9 @@ struct Bucket {
 struct WarpingSimulator::Activation {
   std::unordered_map<uint64_t, Bucket> Map;
   std::vector<SymbolicHierarchy> Snapshots; ///< Ring storage.
+  /// Depth-histogram copy per ring slot (depth-profiling runs only;
+  /// copy-assignment reuses capacity like the snapshots themselves).
+  std::vector<std::vector<uint64_t>> SnapshotHists;
   std::vector<uint32_t> SlotGen;            ///< Generation per slot.
   unsigned NextSlot = 0;
   uint64_t StoresThisActivation = 0;
@@ -68,7 +71,8 @@ struct WarpingSimulator::Activation {
   /// Stores into the ring, overwriting (and thereby invalidating) the
   /// oldest slot once the ring is full.
   StoredEntry store(const SymbolicHierarchy &State, unsigned RingSize,
-                    int64_t X, const CounterState &Counters) {
+                    int64_t X, const CounterState &Counters,
+                    const std::vector<uint64_t> *Hist) {
     unsigned Slot = NextSlot;
     NextSlot = (NextSlot + 1) % RingSize;
     if (Slot < Snapshots.size()) {
@@ -76,6 +80,11 @@ struct WarpingSimulator::Activation {
     } else {
       Snapshots.resize(Slot + 1, State);
       SlotGen.resize(Slot + 1, 0);
+    }
+    if (Hist) {
+      if (SnapshotHists.size() <= Slot)
+        SnapshotHists.resize(Slot + 1);
+      SnapshotHists[Slot] = *Hist;
     }
     ++SlotGen[Slot];
     ++StoresThisActivation;
@@ -109,6 +118,16 @@ WarpingSimulator::WarpingSimulator(const ScopProgram &Program,
   Stats.NumLevels = CacheCfg.numLevels();
   for (const CacheConfig &C : CacheCfg.Levels)
     TotalLines += C.numLines();
+}
+
+void WarpingSimulator::enableDepthProfile() {
+  const CacheConfig &L1 = CacheCfg.Levels.front();
+  assert(CacheCfg.numLevels() == 1 && L1.Policy == PolicyKind::Lru &&
+         L1.WriteAlloc == WriteAllocate::Yes &&
+         "depth profiling needs single-level write-allocate LRU (hit "
+         "way == per-set stack distance)");
+  DepthProfile = true;
+  DepthHist.assign(L1.Assoc, 0);
 }
 
 SimStats WarpingSimulator::run() {
@@ -196,6 +215,17 @@ void WarpingSimulator::runLoop(const LoopNode *L, IterVec &Iter) {
         Stats.Level[1].Misses += N * (Now.L2Miss - It->Counters.L2Miss);
         Stats.WarpedAccesses += N * DAcc1;
         ++Stats.Warps;
+        if (DepthProfile) {
+          // The verified state bijection preserves per-set recency
+          // positions (rotations rename sets, block shifts rename
+          // lines; neither moves a line within its set's recency
+          // order), so the hit-depth sequence of every warped
+          // repetition equals the match window's: scale the window's
+          // histogram delta like the counters above.
+          const std::vector<uint64_t> &H0 = Act.SnapshotHists[It->Slot];
+          for (size_t D = 0; D < DepthHist.size(); ++D)
+            DepthHist[D] += N * (DepthHist[D] - H0[D]);
+        }
         Engine.applyWarp(Cache, Scope, Plan);
         X += Plan.N * Plan.Delta;
         Warped = true;
@@ -217,8 +247,10 @@ void WarpingSimulator::runLoop(const LoopNode *L, IterVec &Iter) {
           return !Act.valid(E);
         });
         if (Bk.Entries.size() < WC.MaxSnapshotsPerBucket)
-          Bk.Entries.push_back(Act.store(
-              Cache, WC.SnapshotRingSize, X, CounterState::capture(Stats)));
+          Bk.Entries.push_back(
+              Act.store(Cache, WC.SnapshotRingSize, X,
+                        CounterState::capture(Stats),
+                        DepthProfile ? &DepthHist : nullptr));
       }
     }
     for (const std::unique_ptr<Node> &C : L->Children)
@@ -261,6 +293,8 @@ void WarpingSimulator::runAccess(const AccessNode *A, const IterVec &Iter) {
   ++Stats.Level[0].Accesses;
   if (!O.L1Hit)
     ++Stats.Level[0].Misses;
+  else if (DepthProfile)
+    ++DepthHist[O.L1HitDepth];
   if (O.L2Accessed) {
     ++Stats.Level[1].Accesses;
     if (!O.L2Hit)

@@ -9,8 +9,10 @@
 
 #include "wcs/sim/ConcreteSimulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <unordered_map>
 
 using namespace wcs;
 
@@ -21,7 +23,147 @@ namespace {
 /// the walk would only burn the time the fallback simulation needs.
 struct RecordCapExceeded {};
 
+/// Compression tuning: a run is folded only when it repeats at least
+/// MinFoldReps times and covers at least MinFoldRecords records (tiny
+/// runs fragment the segment list for no memory win). Two repetitions
+/// already halve the storage -- and at the recording cap the stream may
+/// hold no more than two copies of a long period, so demanding more
+/// would truncate streams the continuation fold could still save. Both
+/// thresholds only trade compression ratio for segment-list size;
+/// folding is exact regardless.
+constexpr uint64_t MinFoldReps = 2;
+constexpr uint64_t MinFoldRecords = 64;
+
+/// Replay walks at most this many repetitions of a folded segment while
+/// probing for a state recurrence before giving up and walking the rest
+/// (FIFO insertion orders, for example, can cycle with a longer period
+/// than the stream's).
+constexpr unsigned MaxReplayStateChecks = 8;
+
 } // namespace
+
+void FilteredStream::appendRecord(const FilteredRecord &R) {
+  if (Segments.empty() || Segments.back().Reps != 1 ||
+      Segments.back().Offset + Segments.back().Len != Records.size())
+    Segments.push_back(FilteredSegment{Records.size(), 0, 1});
+  Records.push_back(R);
+  ++Segments.back().Len;
+  ++Expanded;
+}
+
+size_t FilteredStream::compressTail() {
+  // Only the trailing literal segment is uncompressed; earlier segments
+  // were already folded by a previous pass.
+  if (Segments.empty() || Segments.back().Reps != 1)
+    return 0;
+  const size_t Base = Segments.back().Offset;
+  size_t FreedByContinuation = 0;
+  // Continuation fold: when the tail keeps repeating the PREVIOUS
+  // periodic segment's template (a long run interrupted mid-period by
+  // an earlier compression at the cap), fold those copies into that
+  // segment directly. Without this, each cap overflow would start a
+  // fresh template and a tail shorter than two periods could never
+  // fold again.
+  if (Segments.size() >= 2) {
+    const FilteredSegment &Prev = Segments[Segments.size() - 2];
+    if (Prev.Reps > 1 && Prev.Offset + Prev.Len == Base) {
+      const size_t P = static_cast<size_t>(Prev.Len);
+      size_t K = 0;
+      while ((K + 1) * P <= Records.size() - Base &&
+             std::equal(Records.begin() + Base + K * P,
+                        Records.begin() + Base + (K + 1) * P,
+                        Records.begin() + Prev.Offset))
+        ++K;
+      if (K > 0) {
+        Segments[Segments.size() - 2].Reps += K;
+        Records.erase(Records.begin() + Base,
+                      Records.begin() + Base + K * P);
+        Segments.back().Len -= K * P;
+        FreedByContinuation = K * P;
+        if (Segments.back().Len == 0)
+          Segments.pop_back();
+      }
+    }
+  }
+  if (Segments.empty() || Segments.back().Reps != 1)
+    return FreedByContinuation;
+  const size_t N = Records.size() - Base;
+  if (N < MinFoldRecords)
+    return FreedByContinuation;
+  auto Rec = [&](size_t I) -> const FilteredRecord & {
+    return Records[Base + I];
+  };
+  // Candidate periods come from the previous occurrence of the current
+  // record (for the miss streams of loop nests, one period back); every
+  // candidate run is then verified by verbatim comparison, so a wrong
+  // candidate costs time, never exactness. The comparison budget keeps
+  // the scan O(N) even on adversarial streams -- when it runs out, the
+  // remainder simply stays literal.
+  auto Key = [](const FilteredRecord &R) {
+    return (static_cast<uint64_t>(R.Block) << 1) | (R.IsWrite ? 1u : 0u);
+  };
+  std::unordered_map<uint64_t, size_t> LastPos;
+  LastPos.reserve(N);
+  struct RelSeg {
+    size_t Off;
+    uint64_t Len;
+    uint64_t Reps;
+  };
+  std::vector<RelSeg> Out;
+  uint64_t Budget = 4 * static_cast<uint64_t>(N);
+  size_t I = 0, LitStart = 0;
+  while (I < N) {
+    size_t P = 0;
+    auto It = LastPos.find(Key(Rec(I)));
+    // The run template is [I - P, I); it must lie inside the pending
+    // literal region, not in an already-emitted segment.
+    if (It != LastPos.end() && It->second >= LitStart)
+      P = I - It->second;
+    LastPos[Key(Rec(I))] = I;
+    if (P != 0 && Budget != 0) {
+      size_t Q = 0;
+      while (I + Q < N && Budget != 0 && Rec(I + Q) == Rec(I + Q - P)) {
+        ++Q;
+        --Budget;
+      }
+      // Rec(X) == Rec(X - P) throughout [I, I + Q): the range
+      // [I - P, I + Q) is periodic with period P, i.e. the template
+      // repeats 1 + Q/P full times (a trailing partial period stays
+      // literal).
+      uint64_t Reps = 1 + Q / P;
+      if (Reps >= MinFoldReps && Reps * P >= MinFoldRecords) {
+        if (I - P > LitStart)
+          Out.push_back(RelSeg{LitStart, I - P - LitStart, 1});
+        Out.push_back(RelSeg{I - P, P, Reps});
+        I += (Reps - 1) * P;
+        LitStart = I;
+        continue;
+      }
+    }
+    ++I;
+  }
+  bool Folded = false;
+  for (const RelSeg &S : Out)
+    Folded |= S.Reps > 1;
+  if (!Folded)
+    return FreedByContinuation;
+  if (LitStart < N)
+    Out.push_back(RelSeg{LitStart, N - LitStart, 1});
+
+  // Compact the stored tail: keep one template copy per segment.
+  std::vector<FilteredRecord> Kept;
+  Segments.pop_back();
+  for (const RelSeg &S : Out) {
+    Segments.push_back(
+        FilteredSegment{Base + Kept.size(), S.Len, S.Reps});
+    Kept.insert(Kept.end(), Records.begin() + Base + S.Off,
+                Records.begin() + Base + S.Off + S.Len);
+  }
+  size_t FreedRecords = N - Kept.size();
+  Records.resize(Base);
+  Records.insert(Records.end(), Kept.begin(), Kept.end());
+  return FreedRecords + FreedByContinuation;
+}
 
 FilteredStream FilteredStream::record(const ScopProgram &Program,
                                       const CacheConfig &L1,
@@ -35,19 +177,32 @@ FilteredStream FilteredStream::record(const ScopProgram &Program,
                                const HierarchyOutcome &O) {
     if (O.L1Hit)
       return;
-    if (MaxRecords != 0 && FS.Records.size() >= MaxRecords)
-      throw RecordCapExceeded{};
-    FS.Records.push_back(FilteredRecord{B, IsWrite});
+    if (MaxRecords != 0 && FS.Records.size() >= MaxRecords) {
+      // Fold periodic repetitions before giving up on the cap -- and
+      // demand real headroom from the fold: anything less would
+      // re-trigger compression every few records and turn the
+      // recording quadratic.
+      size_t Freed = FS.compressTail();
+      if (Freed < MaxRecords / 4 || FS.Records.size() >= MaxRecords)
+        throw RecordCapExceeded{};
+    }
+    FS.appendRecord(FilteredRecord{B, IsWrite});
   });
   try {
     SimStats S = Sim.run();
     FS.L1Stats = S.Level[0];
-    assert(FS.L1Stats.Misses == FS.Records.size() &&
+    // Final fold: cheap (one linear scan of the uncompressed tail) and
+    // it puts every later feed/replay on the periodic fast path.
+    FS.compressTail();
+    assert(FS.L1Stats.Misses == FS.size() &&
            "every L1 miss must be recorded");
   } catch (const RecordCapExceeded &) {
     FS.Truncated = true;
+    FS.Expanded = 0;
     FS.Records.clear();
     FS.Records.shrink_to_fit();
+    FS.Segments.clear();
+    FS.Segments.shrink_to_fit();
   }
   FS.Seconds = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - T0)
@@ -78,8 +233,35 @@ void FilteredStream::feed(SetDistanceBank &Bank) const {
   assert(!Truncated && "cannot condition a bank on a truncated stream");
   assert(Bank.blockBytes() == L1.BlockBytes &&
          "bank block size must equal the recorded L1's");
-  for (const FilteredRecord &R : Records)
-    Bank.accessBlock(R.Block);
+  for (const FilteredSegment &S : Segments) {
+    auto Walk = [&] {
+      for (uint64_t I = 0; I < S.Len; ++I)
+        Bank.accessBlock(Records[S.Offset + I].Block);
+    };
+    if (S.Reps <= 2) {
+      for (uint64_t R = 0; R < S.Reps; ++R)
+        Walk();
+      continue;
+    }
+    // Repetition 1 enters from whatever state the stream prefix left;
+    // repetition 2 is the stationary one whose increments every later
+    // repetition copies (see the periodic-bulk-update comment in
+    // StackDistance.h). Capture it and apply the rest analytically.
+    Walk();
+    Bank.beginPeriodCapture();
+    Walk();
+    DistanceHistogram H = Bank.endPeriodCapture();
+    if (H.Colds != 0) {
+      // A repetition of an identical block sequence cannot touch a new
+      // block, so a cold here falsifies the period hypothesis. It is
+      // unreachable for verbatim RLE segments, but the check is the
+      // verification discipline: reject and fall back to walking.
+      for (uint64_t R = 2; R < S.Reps; ++R)
+        Walk();
+      continue;
+    }
+    Bank.addPeriodicContribution(H, S.Reps - 2);
+  }
 }
 
 SimStats FilteredStream::replay(const CacheConfig &L2) const {
@@ -90,21 +272,59 @@ SimStats FilteredStream::replay(const CacheConfig &L2) const {
   SimStats S;
   S.NumLevels = 2;
   S.Level[0] = L1Stats;
-  S.Level[1].Accesses = Records.size();
+  S.Level[1].Accesses = Expanded;
   ConcreteCache Cache(L2);
-  uint64_t Misses = 0;
-  for (const FilteredRecord &R : Records) {
-    // Mirror of ConcreteHierarchy's NINE L2 leg: the L2 sees the same
-    // block, allocating unless a write miss under no-write-allocate.
-    bool Alloc = !(R.IsWrite && L2.WriteAlloc == WriteAllocate::No);
-    AccessOutcome O = Cache.access(R.Block, Alloc);
-    if (!O.Hit)
-      ++Misses;
+  uint64_t Misses = 0, Walked = 0;
+  // Mirror of ConcreteHierarchy's NINE L2 leg: the L2 sees the same
+  // block, allocating unless a write miss under no-write-allocate.
+  auto WalkOnce = [&](const FilteredSegment &Seg) {
+    for (uint64_t I = 0; I < Seg.Len; ++I) {
+      const FilteredRecord &R = Records[Seg.Offset + I];
+      bool Alloc = !(R.IsWrite && L2.WriteAlloc == WriteAllocate::No);
+      AccessOutcome O = Cache.access(R.Block, Alloc);
+      if (!O.Hit)
+        ++Misses;
+    }
+    Walked += Seg.Len;
+  };
+  for (const FilteredSegment &Seg : Segments) {
+    if (Seg.Reps == 1) {
+      WalkOnce(Seg);
+      continue;
+    }
+    // Walk repetitions until the L2 state maps onto itself across one
+    // repetition. From a fixed point, every further repetition
+    // reproduces the same misses (same input from the same state), so
+    // the remainder is applied analytically. If the state never recurs
+    // within the probe limit, walk everything -- the sound fallback.
+    uint64_t Done = 0;
+    WalkOnce(Seg);
+    ++Done;
+    unsigned Checks = 0;
+    ConcreteCache Prev = Cache;
+    while (Done < Seg.Reps) {
+      uint64_t M0 = Misses;
+      WalkOnce(Seg);
+      ++Done;
+      uint64_t PerRep = Misses - M0;
+      if (Cache.stateEquals(Prev)) {
+        Misses += PerRep * (Seg.Reps - Done);
+        break;
+      }
+      if (++Checks >= MaxReplayStateChecks) {
+        while (Done < Seg.Reps) {
+          WalkOnce(Seg);
+          ++Done;
+        }
+        break;
+      }
+      Prev = Cache;
+    }
   }
   S.Level[1].Misses = Misses;
-  // The replay walks only the filtered stream; the full-trace L1 walk
-  // happened once, at recording time.
-  S.SimulatedAccesses = Records.size();
+  // Records actually walked; repetitions answered from a recurred state
+  // are analytic work, like warped accesses elsewhere.
+  S.SimulatedAccesses = Walked;
   S.Seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - T0)
                   .count();

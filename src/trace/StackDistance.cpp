@@ -50,8 +50,9 @@ int64_t StackDistanceProfiler::bitPrefix(uint64_t Pos) const {
   return S;
 }
 
-void StackDistanceProfiler::accessBlock(BlockId B) {
+int64_t StackDistanceProfiler::accessBlock(BlockId B) {
   ++Time; // 1-based timestamps.
+  int64_t Dist = -1;
   auto It = LastAccess.find(B);
   if (It == LastAccess.end()) {
     ++Colds;
@@ -64,9 +65,11 @@ void StackDistanceProfiler::accessBlock(BlockId B) {
       Hist.resize(D + 1, 0);
     ++Hist[D];
     bitAdd(It->second, -1);
+    Dist = static_cast<int64_t>(D);
   }
   bitAdd(Time, +1);
   LastAccess[B] = Time;
+  return Dist;
 }
 
 uint64_t StackDistanceProfiler::missesForAssoc(uint64_t Assoc) const {
@@ -87,8 +90,29 @@ SetDistanceBank::SetDistanceBank(unsigned BlockBytes, unsigned NumSets)
     Sets.emplace_back(BlockBytes, NumSets > 1 ? 64 : 1024);
 }
 
+void SetDistanceBank::addPeriodicContribution(const DistanceHistogram &H,
+                                              uint64_t Reps,
+                                              unsigned TruncatedAtAssoc) {
+  assert(!Capturing && "cannot bulk-update while capturing a period");
+  if (BulkHist.size() < H.Hist.size())
+    BulkHist.resize(H.Hist.size(), 0);
+  for (size_t D = 0; D < H.Hist.size(); ++D)
+    BulkHist[D] += H.Hist[D] * Reps;
+  // Colds and beyond-truncation distances both miss at every
+  // associativity the bank may answer afterwards.
+  BulkAlwaysMiss += (H.Beyond + H.Colds) * Reps;
+  Total += H.Accesses * Reps;
+  if (TruncatedAtAssoc != 0 &&
+      (TruncAssoc == 0 || TruncatedAtAssoc < TruncAssoc))
+    TruncAssoc = TruncatedAtAssoc;
+}
+
 uint64_t SetDistanceBank::missesForAssoc(uint64_t Assoc) const {
-  uint64_t M = 0;
+  assert((TruncAssoc == 0 || Assoc <= TruncAssoc) &&
+         "bank is truncated below the requested associativity");
+  uint64_t M = BulkAlwaysMiss;
+  for (uint64_t D = Assoc; D < BulkHist.size(); ++D)
+    M += BulkHist[D];
   for (const StackDistanceProfiler &P : Sets)
     M += P.missesForAssoc(Assoc);
   return M;
@@ -97,7 +121,8 @@ uint64_t SetDistanceBank::missesForAssoc(uint64_t Assoc) const {
 bool SetDistanceBank::matches(const CacheConfig &C) const {
   return C.Policy == PolicyKind::Lru &&
          C.WriteAlloc == WriteAllocate::Yes &&
-         C.BlockBytes == blockBytes() && C.numSets() == numSets();
+         C.BlockBytes == blockBytes() && C.numSets() == numSets() &&
+         (TruncAssoc == 0 || C.Assoc <= TruncAssoc);
 }
 
 uint64_t SetDistanceBank::missesForCache(const CacheConfig &C) const {

@@ -17,6 +17,7 @@
 
 #include "RandomProgram.h"
 #include "wcs/driver/Sweep.h"
+#include "wcs/scop/Builder.h"
 #include "wcs/sim/ConcreteSimulator.h"
 #include "wcs/trace/FilteredStream.h"
 
@@ -198,6 +199,129 @@ TEST(FilteredStream, RejectsWhatItCannotAnswer) {
   EXPECT_FALSE(
       Capped.answersHierarchy(HierarchyConfig::twoLevel(L1, L2), &Why));
   EXPECT_NE(Why.find("truncated"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Run-length-encoded (periodic) streams
+//===----------------------------------------------------------------------===//
+
+/// A time-stepped sweep over an array: the miss stream under a small L1
+/// repeats verbatim every step, so the recording must compress.
+ScopProgram timeSteppedProgram(int Steps, int Elems) {
+  ScopBuilder B("stepped");
+  unsigned A = B.addArray("A", 8, {static_cast<int64_t>(Elems)});
+  B.beginLoop("t", B.cst(0), B.cst(Steps - 1));
+  B.beginLoop("i", B.cst(0), B.cst(Elems - 1));
+  B.read(A, {B.iterAt(1)});
+  B.write(A, {B.iterAt(1)});
+  B.endLoop();
+  B.endLoop();
+  std::string Err;
+  ScopProgram P = B.finish(&Err);
+  EXPECT_EQ(Err, "");
+  return P;
+}
+
+TEST(FilteredStreamRle, CompressesPeriodicStreamsExactly) {
+  // 256 blocks through a 16-block L1: every access misses the L1 sweep
+  // after sweep, and the miss stream repeats verbatim per time step.
+  ScopProgram P = timeSteppedProgram(/*Steps=*/12, /*Elems=*/2048);
+  CacheConfig L1{1024, 4, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  FilteredStream FS = FilteredStream::record(P, L1);
+  ASSERT_FALSE(FS.truncated());
+  EXPECT_TRUE(FS.compressed());
+  EXPECT_LT(FS.storedRecords(), FS.size() / 4)
+      << "a 12-fold repetition must fold";
+
+  // The segment cover is exact: expansion reproduces the stream length
+  // and the record-by-record walk drives a bit-identical replica.
+  uint64_t Expanded = 0;
+  for (const FilteredSegment &S : FS.segments())
+    Expanded += S.Len * S.Reps;
+  EXPECT_EQ(Expanded, FS.size());
+  EXPECT_EQ(FS.size(), FS.l1Misses());
+
+  // Replay and conditioned banks over the compressed stream must still
+  // match full two-level simulation.
+  for (PolicyKind L2Pol : AllPolicies) {
+    CacheConfig L2{8192, 8, 64, L2Pol, WriteAllocate::Yes};
+    HierarchyConfig H = HierarchyConfig::twoLevel(L1, L2);
+    ASSERT_TRUE(FS.answersHierarchy(H));
+    expectStatsMatchConcrete(P, H, FS.replay(L2), "RLE replay");
+  }
+  SetDistanceBank Bank(64, 4);
+  FS.feed(Bank);
+  EXPECT_EQ(Bank.totalAccesses(), FS.size());
+  CacheConfig L2{16 * 4 * 64, 16, 64, PolicyKind::Lru,
+                 WriteAllocate::Yes};
+  ConcreteSimulator Sim(P, HierarchyConfig::twoLevel(L1, L2));
+  SimStats Ref = Sim.run();
+  EXPECT_EQ(Bank.missesForCache(L2), Ref.Level[1].Misses);
+}
+
+TEST(FilteredStreamRle, ForEachRecordExpandsInOrder) {
+  ScopProgram P = timeSteppedProgram(/*Steps=*/6, /*Elems=*/1024);
+  CacheConfig L1{512, 2, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  FilteredStream Compressed = FilteredStream::record(P, L1);
+  ASSERT_TRUE(Compressed.compressed());
+  // An independent tap-order reference: drive the same L1 concretely.
+  std::vector<FilteredRecord> Ref;
+  ConcreteSimulator Sim(P, HierarchyConfig::singleLevel(L1));
+  Sim.setTap([&Ref](BlockId B, bool IsWrite, const HierarchyOutcome &O) {
+    if (!O.L1Hit)
+      Ref.push_back(FilteredRecord{B, IsWrite});
+  });
+  Sim.run();
+  ASSERT_EQ(Compressed.size(), Ref.size());
+  size_t I = 0;
+  Compressed.forEachRecord([&](const FilteredRecord &R) {
+    ASSERT_LT(I, Ref.size());
+    EXPECT_TRUE(R == Ref[I]) << "record " << I;
+    ++I;
+  });
+  EXPECT_EQ(I, Ref.size());
+}
+
+TEST(FilteredStreamRle, CapCompressesThenContinues) {
+  ScopProgram P = timeSteppedProgram(/*Steps=*/16, /*Elems=*/4096);
+  CacheConfig L1{1024, 4, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  FilteredStream Free = FilteredStream::record(P, L1);
+  ASSERT_FALSE(Free.truncated());
+  // A cap between the compressed and the expanded footprint: recording
+  // must fold at the cap and finish, not truncate.
+  uint64_t Cap = Free.storedRecords() * 3;
+  ASSERT_LT(Cap, Free.size());
+  FilteredStream Capped =
+      FilteredStream::record(P, L1, SimOptions(), Cap);
+  EXPECT_FALSE(Capped.truncated());
+  EXPECT_LE(Capped.storedRecords(), Cap);
+  EXPECT_EQ(Capped.size(), Free.size());
+  // And the capped stream still answers exactly.
+  CacheConfig L2{8192, 8, 64, PolicyKind::Fifo, WriteAllocate::Yes};
+  HierarchyConfig H = HierarchyConfig::twoLevel(L1, L2);
+  expectStatsMatchConcrete(P, H, Capped.replay(L2), "capped replay");
+}
+
+TEST(FilteredStreamRle, IncompressibleStreamStillTruncates) {
+  // One sweep over a large array: every miss names a fresh block, so
+  // the stream has no repetition at all and the cap must truncate.
+  ScopBuilder B("onesweep");
+  unsigned A = B.addArray("A", 8, {4096});
+  B.beginLoop("i", B.cst(0), B.cst(4095));
+  B.read(A, {B.iterAt(0)});
+  B.endLoop();
+  std::string Err;
+  ScopProgram P = B.finish(&Err);
+  ASSERT_EQ(Err, "");
+  CacheConfig L1{128, 2, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  FilteredStream Free = FilteredStream::record(P, L1);
+  ASSERT_FALSE(Free.compressed());
+  ASSERT_EQ(Free.size(), 512u); // One miss per 64-byte block.
+  FilteredStream Capped = FilteredStream::record(
+      P, L1, SimOptions(), Free.storedRecords() / 2);
+  EXPECT_TRUE(Capped.truncated());
+  EXPECT_EQ(Capped.size(), 0u);
+  EXPECT_EQ(Capped.storedRecords(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -400,6 +524,12 @@ TEST(SweepFiltered, ReadsPreEngineV1Documents) {
   EXPECT_EQ(Out.FilteredRecords, 0u);
   EXPECT_EQ(Out.RecordSeconds, 0.0);
   EXPECT_EQ(Out.Program, "gemm");
+  // The periodic-pass figures joined v1 even later; they too default.
+  EXPECT_FALSE(Out.PeriodicPass);
+  EXPECT_EQ(Out.PeriodicPassSeconds, 0.0);
+  EXPECT_EQ(Out.PeriodicWarps, 0u);
+  EXPECT_EQ(Out.FilteredStoredRecords, 0u);
+  EXPECT_TRUE(Out.DemotedL1s.empty());
 
   // Present but mistyped still fails loudly.
   V.set("filtered_groups", "three");

@@ -1,0 +1,229 @@
+//===- tests/periodic_pass_test.cpp - Warp-aware pass cross-checks --------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// The periodic (warp-aware) stack-distance pass must be bit-identical to
+// the linear trace walk it replaces -- histogram for histogram, miss
+// count for miss count at every associativity -- whether or not the
+// program actually warps. The property suite enforces this across random
+// programs (which mostly do NOT warp, exercising the concrete-stepping
+// fallback) and hand-built periodic programs (which warp, exercising the
+// analytic histogram scaling), plus the sweep driver's flavor switch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "wcs/driver/Sweep.h"
+#include "wcs/scop/Builder.h"
+#include "wcs/sim/ConcreteSimulator.h"
+#include "wcs/trace/PeriodicPass.h"
+#include "wcs/trace/StackDistance.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace wcs;
+using testutil::generateProgram;
+
+namespace {
+
+/// A strongly periodic program: \p Steps sweeps over a \p Blocks-block
+/// array (8 accesses per block at 8-byte elements, 64-byte lines) -- the
+/// time-loop shape that makes warping and the periodic pass shine.
+ScopProgram periodicSweepProgram(int Steps, int Blocks) {
+  ScopBuilder B("periodic");
+  unsigned A = B.addArray("A", 8, {static_cast<int64_t>(Blocks) * 8});
+  B.beginLoop("t", B.cst(0), B.cst(Steps - 1));
+  B.beginLoop("i", B.cst(0), B.cst(Blocks * 8 - 1));
+  B.read(A, {B.iterAt(1)});
+  B.endLoop();
+  B.endLoop();
+  std::string Err;
+  ScopProgram P = B.finish(&Err);
+  EXPECT_EQ(Err, "");
+  return P;
+}
+
+/// Requires the periodic pass and the linear pass to agree at EVERY
+/// associativity up to the truncation depth, and both to agree with the
+/// bulk-updated bank the sweep driver builds.
+void expectPassesAgree(const ScopProgram &P, unsigned BlockBytes,
+                       unsigned NumSets, unsigned MaxAssoc) {
+  SetDistanceBank Linear =
+      profileProgramSets(P, BlockBytes, NumSets);
+  PeriodicPassResult R =
+      runPeriodicPass(P, BlockBytes, NumSets, MaxAssoc);
+  SetDistanceBank Warp(BlockBytes, NumSets);
+  R.addTo(Warp);
+  EXPECT_EQ(Warp.totalAccesses(), Linear.totalAccesses()) << P.str();
+  EXPECT_EQ(Warp.truncatedAtAssoc(), MaxAssoc);
+  for (uint64_t Assoc = 1; Assoc <= MaxAssoc; Assoc *= 2) {
+    EXPECT_EQ(Warp.missesForAssoc(Assoc), Linear.missesForAssoc(Assoc))
+        << "assoc " << Assoc << " sets " << NumSets << " block "
+        << BlockBytes << "\n"
+        << P.str();
+    EXPECT_EQ(R.missesForAssoc(Assoc), Linear.missesForAssoc(Assoc));
+  }
+}
+
+TEST(PeriodicPass, MatchesLinearPassOnRandomPrograms) {
+  std::mt19937 Rng(20260729);
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    ScopProgram P = generateProgram(Rng);
+    auto Rand = [&](int Lo, int Hi) {
+      return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+    };
+    unsigned BlockBytes = Rand(0, 1) ? 64 : 32;
+    unsigned NumSets = 1u << Rand(0, 3);
+    unsigned MaxAssoc = 1u << Rand(2, 6);
+    expectPassesAgree(P, BlockBytes, NumSets, MaxAssoc);
+  }
+}
+
+TEST(PeriodicPass, WarpsAndStaysIdenticalOnPeriodicProgram) {
+  // 64 blocks fit a 128-way stack (hits at depths 0 and 63); 40 sweeps
+  // give the warp engine plenty of periods to skip.
+  ScopProgram P = periodicSweepProgram(/*Steps=*/40, /*Blocks=*/64);
+  PeriodicPassResult R = runPeriodicPass(P, 64, 1, 128);
+  EXPECT_GT(R.Stats.Warps, 0u) << "periodic program must warp";
+  EXPECT_GT(R.Stats.WarpedAccesses, 0u);
+  expectPassesAgree(P, 64, 1, 128);
+
+  // Thrashing geometry: the array exceeds the stack, so every re-touch
+  // lands beyond the truncation depth. Still bit-identical.
+  ScopProgram Big = periodicSweepProgram(/*Steps=*/20, /*Blocks=*/512);
+  expectPassesAgree(Big, 64, 1, 128);
+  // And a set-associative geometry of the same pass.
+  expectPassesAgree(Big, 64, 8, 32);
+}
+
+TEST(PeriodicPass, AgreesWithConcreteSimulatorSpotChecks) {
+  ScopProgram P = periodicSweepProgram(/*Steps=*/12, /*Blocks=*/96);
+  unsigned MaxAssoc = 256;
+  PeriodicPassResult R = runPeriodicPass(P, 64, 1, MaxAssoc);
+  for (unsigned Assoc : {16u, 64u, 256u}) {
+    CacheConfig C{static_cast<uint64_t>(Assoc) * 64, Assoc, 64,
+                  PolicyKind::Lru, WriteAllocate::Yes};
+    ConcreteSimulator Sim(P, HierarchyConfig::singleLevel(C));
+    SimStats Ref = Sim.run();
+    EXPECT_EQ(R.missesForAssoc(Assoc), Ref.Level[0].Misses)
+        << C.str();
+  }
+}
+
+TEST(PeriodicPass, TruncatedBankAnswersOnlyWithinDepth) {
+  ScopProgram P = periodicSweepProgram(/*Steps=*/4, /*Blocks=*/16);
+  PeriodicPassResult R = runPeriodicPass(P, 64, 1, 8);
+  SetDistanceBank Bank(64, 1);
+  EXPECT_EQ(Bank.truncatedAtAssoc(), 0u); // Exact before the update.
+  R.addTo(Bank);
+  EXPECT_EQ(Bank.truncatedAtAssoc(), 8u);
+  CacheConfig Within{8 * 64, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig Beyond{16 * 64, 16, 64, PolicyKind::Lru,
+                     WriteAllocate::Yes};
+  EXPECT_TRUE(Bank.matches(Within));
+  EXPECT_FALSE(Bank.matches(Beyond));
+}
+
+//===----------------------------------------------------------------------===//
+// The sweep driver's flavor switch
+//===----------------------------------------------------------------------===//
+
+/// Forcing the periodic pass and forcing the linear pass must produce
+/// bit-identical points; only the provenance figures differ.
+TEST(PeriodicPass, SweepFlavorsAreBitIdentical) {
+  std::mt19937 Rng(7);
+  std::vector<ScopProgram> Programs;
+  Programs.push_back(periodicSweepProgram(30, 48));
+  Programs.push_back(generateProgram(Rng));
+  for (const ScopProgram &P : Programs) {
+    std::vector<HierarchyConfig> Grid;
+    for (uint64_t Cap = 512; Cap <= 16 * 1024; Cap *= 2) {
+      CacheConfig C{Cap, static_cast<unsigned>(Cap / 64), 64,
+                    PolicyKind::Lru, WriteAllocate::Yes};
+      Grid.push_back(HierarchyConfig::singleLevel(C));
+    }
+    // A second geometry (set-associative) forces a second bank.
+    CacheConfig SA{4096, 4, 64, PolicyKind::Lru, WriteAllocate::Yes};
+    Grid.push_back(HierarchyConfig::singleLevel(SA));
+
+    SweepOptions Periodic;
+    Periodic.WarpSweep = true;
+    Periodic.WarpSweepMinAccesses = 0; // Force the periodic flavor.
+    SweepOptions Linear;
+    Linear.WarpSweep = false;
+
+    SweepReport RP = runSweep(P, Grid, Periodic);
+    SweepReport RL = runSweep(P, Grid, Linear);
+    ASSERT_TRUE(RP.allOk());
+    ASSERT_TRUE(RL.allOk());
+    EXPECT_TRUE(RP.PeriodicPass);
+    EXPECT_FALSE(RL.PeriodicPass);
+    EXPECT_EQ(RP.NumBanks, 2u);
+    for (size_t I = 0; I < Grid.size(); ++I) {
+      EXPECT_EQ(RP.Points[I].Method, SweepMethod::StackDistance);
+      EXPECT_EQ(RP.Points[I].Stats.Level[0].Accesses,
+                RL.Points[I].Stats.Level[0].Accesses)
+          << Grid[I].str();
+      EXPECT_EQ(RP.Points[I].Stats.Level[0].Misses,
+                RL.Points[I].Stats.Level[0].Misses)
+          << Grid[I].str();
+    }
+  }
+}
+
+/// The counting pre-walk: short traces stay on the linear pass under
+/// the default threshold; a zero threshold forces the periodic pass.
+TEST(PeriodicPass, CountingPrewalkPicksTheFlavor) {
+  ScopProgram P = periodicSweepProgram(4, 16);
+  CacheConfig C{1024, 16, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  std::vector<HierarchyConfig> Grid = {HierarchyConfig::singleLevel(C)};
+  SweepOptions Default; // WarpSweep on, threshold at its default.
+  SweepReport RD = runSweep(P, Grid, Default);
+  ASSERT_TRUE(RD.allOk());
+  EXPECT_FALSE(RD.PeriodicPass) << "tiny trace must use the linear pass";
+  SweepOptions Forced;
+  Forced.WarpSweepMinAccesses = 0;
+  SweepReport RF = runSweep(P, Grid, Forced);
+  ASSERT_TRUE(RF.allOk());
+  EXPECT_TRUE(RF.PeriodicPass);
+  EXPECT_EQ(RF.Points[0].Stats.Level[0].Misses,
+            RD.Points[0].Stats.Level[0].Misses);
+}
+
+/// Sweeps over the warp-aware pass agree with independent concrete
+/// simulation point for point -- the same contract the linear pass has,
+/// across programs that warp and programs that do not.
+TEST(PeriodicPass, SweepMatchesConcretePerPoint) {
+  std::mt19937 Rng(101);
+  std::vector<ScopProgram> Programs;
+  Programs.push_back(periodicSweepProgram(16, 80));
+  Programs.push_back(generateProgram(Rng));
+  for (const ScopProgram &P : Programs) {
+    std::vector<HierarchyConfig> Grid;
+    for (uint64_t Cap : {512u, 2048u, 8192u}) {
+      CacheConfig C{Cap, static_cast<unsigned>(Cap / 64), 64,
+                    PolicyKind::Lru, WriteAllocate::Yes};
+      Grid.push_back(HierarchyConfig::singleLevel(C));
+    }
+    SweepOptions SO;
+    SO.WarpSweepMinAccesses = 0; // Force the periodic flavor.
+    SweepReport Rep = runSweep(P, Grid, SO);
+    ASSERT_TRUE(Rep.allOk());
+    EXPECT_TRUE(Rep.PeriodicPass);
+    for (size_t I = 0; I < Grid.size(); ++I) {
+      ConcreteSimulator Sim(P, Grid[I]);
+      SimStats Ref = Sim.run();
+      EXPECT_EQ(Rep.Points[I].Stats.Level[0].Misses,
+                Ref.Level[0].Misses)
+          << Grid[I].str();
+      EXPECT_EQ(Rep.Points[I].Stats.Level[0].Accesses,
+                Ref.Level[0].Accesses)
+          << Grid[I].str();
+    }
+  }
+}
+
+} // namespace

@@ -64,6 +64,81 @@ TEST(StackDistance, HistogramAccountsForEveryAccess) {
   EXPECT_EQ(Finite + Prof.coldAccesses(), Prof.totalAccesses());
 }
 
+TEST(StackDistance, PeriodCaptureAndBulkUpdateMatchLinearWalk) {
+  // Stream: prefix, then period P repeated 5 times, then a suffix that
+  // re-touches both periodic and pre-periodic blocks. The bulk-updated
+  // bank walks P only twice (the second under capture) and applies the
+  // other three repetitions analytically; it must agree with the
+  // linearly walked twin at every associativity, including on the
+  // suffix distances (the profilers' markers stay equivalent).
+  const std::vector<BlockId> Prefix = {0, 1, 2};
+  const std::vector<BlockId> Period = {3, 4, 5, 3, 6};
+  const std::vector<BlockId> Suffix = {1, 4, 0, 6};
+  const uint64_t Reps = 5;
+
+  SetDistanceBank Linear(64, 2), Bulk(64, 2);
+  auto Walk = [](SetDistanceBank &B, const std::vector<BlockId> &Seq) {
+    for (BlockId Blk : Seq)
+      B.accessBlock(Blk);
+  };
+  Walk(Linear, Prefix);
+  for (uint64_t R = 0; R < Reps; ++R)
+    Walk(Linear, Period);
+  Walk(Linear, Suffix);
+
+  Walk(Bulk, Prefix);
+  Walk(Bulk, Period); // Repetition 1: entered from the prefix state.
+  Bulk.beginPeriodCapture();
+  Walk(Bulk, Period); // Repetition 2: the stationary one.
+  DistanceHistogram H = Bulk.endPeriodCapture();
+  EXPECT_EQ(H.Colds, 0u) << "identical repetition cannot touch new blocks";
+  EXPECT_EQ(H.Accesses, Period.size());
+  Bulk.addPeriodicContribution(H, Reps - 2);
+  Walk(Bulk, Suffix);
+
+  EXPECT_EQ(Bulk.totalAccesses(), Linear.totalAccesses());
+  EXPECT_EQ(Bulk.truncatedAtAssoc(), 0u); // Untruncated contribution.
+  for (uint64_t Assoc = 1; Assoc <= 16; ++Assoc)
+    EXPECT_EQ(Bulk.missesForAssoc(Assoc), Linear.missesForAssoc(Assoc))
+        << "assoc " << Assoc;
+}
+
+TEST(StackDistance, CaptureFlagsColdAccessesAsPeriodicityViolation) {
+  SetDistanceBank Bank(64, 1);
+  for (BlockId B : {0, 1, 2})
+    Bank.accessBlock(B);
+  Bank.beginPeriodCapture();
+  for (BlockId B : {1, 2, 7}) // 7 is new: not a repetition of anything.
+    Bank.accessBlock(B);
+  DistanceHistogram H = Bank.endPeriodCapture();
+  EXPECT_EQ(H.Colds, 1u);
+  EXPECT_EQ(H.Accesses, 3u);
+}
+
+TEST(StackDistance, TruncatedContributionLimitsMatches) {
+  SetDistanceBank Bank(64, 1);
+  DistanceHistogram H;
+  H.Hist = {4, 2};
+  H.Beyond = 3;
+  H.Accesses = 9;
+  Bank.addPeriodicContribution(H, 2, /*TruncatedAtAssoc=*/4);
+  EXPECT_EQ(Bank.truncatedAtAssoc(), 4u);
+  EXPECT_EQ(Bank.totalAccesses(), 18u);
+  // missesForAssoc(1) = (2 + 3) * 2; missesForAssoc(2+) = 3 * 2.
+  EXPECT_EQ(Bank.missesForAssoc(1), 10u);
+  EXPECT_EQ(Bank.missesForAssoc(2), 6u);
+  EXPECT_EQ(Bank.missesForAssoc(4), 6u);
+  CacheConfig Within{4 * 64, 4, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig Beyond{8 * 64, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  EXPECT_TRUE(Bank.matches(Within));
+  EXPECT_FALSE(Bank.matches(Beyond));
+  // A tighter later truncation wins; a looser one must not widen it.
+  Bank.addPeriodicContribution(H, 1, /*TruncatedAtAssoc=*/8);
+  EXPECT_EQ(Bank.truncatedAtAssoc(), 4u);
+  Bank.addPeriodicContribution(H, 1, /*TruncatedAtAssoc=*/2);
+  EXPECT_EQ(Bank.truncatedAtAssoc(), 2u);
+}
+
 TEST(StackDistance, MissesMonotoneInAssociativity) {
   std::mt19937 Rng(31337);
   ScopProgram P = generateProgram(Rng);

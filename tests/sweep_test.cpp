@@ -15,6 +15,7 @@
 
 #include "RandomProgram.h"
 #include "wcs/driver/Sweep.h"
+#include "wcs/scop/Builder.h"
 #include "wcs/sim/ConcreteSimulator.h"
 #include "wcs/trace/StackDistance.h"
 
@@ -276,6 +277,52 @@ TEST(SweepDoc, RoundTripsExactly) {
     EXPECT_EQ(Back.Points[I].Cache.str(), Grid[I].str());
   }
   // Serialization is deterministic: a round trip reproduces the text.
+  EXPECT_EQ(toJson(Back).dump(), Text);
+}
+
+/// Periodic-pass provenance and cap-demoted groups survive the round
+/// trip (and the demotion is visible in the report, which is what the
+/// wcs-sim warning and the wcs-report "demoted" lines render).
+TEST(SweepDoc, RoundTripsPeriodicAndDemotedProvenance) {
+  // A program with plenty of L1 misses, so a 1-record stream cap is
+  // guaranteed to overrun and demote the group.
+  ScopBuilder B("missy");
+  unsigned A = B.addArray("A", 8, {4096});
+  B.beginLoop("i", B.cst(0), B.cst(4095));
+  B.read(A, {B.iterAt(0)});
+  B.endLoop();
+  std::string BuildErr;
+  ScopProgram P = B.finish(&BuildErr);
+  ASSERT_EQ(BuildErr, "");
+  CacheConfig Lru{2048, 4, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig L2{8192, 8, 64, PolicyKind::QuadAgeLru,
+                 WriteAllocate::Yes};
+  std::vector<HierarchyConfig> Grid = {
+      HierarchyConfig::singleLevel(Lru),
+      HierarchyConfig::twoLevel(Lru, L2),
+  };
+  SweepOptions SO;
+  SO.WarpSweepMinAccesses = 0; // Force the periodic pass flavor.
+  SO.MaxFilteredRecords = 1;   // Force the recording to demote.
+  SweepReport Rep = runSweep(P, Grid, SO);
+  ASSERT_TRUE(Rep.allOk());
+  EXPECT_TRUE(Rep.PeriodicPass);
+  ASSERT_EQ(Rep.DemotedL1s.size(), 1u);
+  EXPECT_EQ(Rep.DemotedL1s[0], Lru.str());
+
+  SweepDoc Doc = makeSweepDoc("wcs-sim", "random", "SMALL", Rep);
+  std::string Text = toJson(Doc).dump();
+  json::Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, Parsed, &Err)) << Err;
+  SweepDoc Back;
+  ASSERT_TRUE(fromJson(Parsed, Back, &Err)) << Err;
+  EXPECT_TRUE(Back.PeriodicPass);
+  EXPECT_EQ(Back.PeriodicWarps, Doc.PeriodicWarps);
+  EXPECT_EQ(Back.PeriodicPassSeconds, Doc.PeriodicPassSeconds);
+  EXPECT_EQ(Back.FilteredStoredRecords, Doc.FilteredStoredRecords);
+  ASSERT_EQ(Back.DemotedL1s.size(), 1u);
+  EXPECT_EQ(Back.DemotedL1s[0], Lru.str());
   EXPECT_EQ(toJson(Back).dump(), Text);
 }
 

@@ -143,14 +143,40 @@ int renderSweep(const SweepDoc &Doc, const std::string &Path) {
               Doc.Points.size(), Doc.Threads);
   if (!Doc.SizeName.empty())
     std::printf("size     %s\n", Doc.SizeName.c_str());
-  std::printf("shared   trace pass %.3f s (%llu accesses); %u filtered "
-              "L1 streams %.3f s (%llu records); %zu jobs (%zu deduped "
-              "points)\n",
-              Doc.TracePassSeconds,
-              static_cast<unsigned long long>(Doc.TraceAccesses),
-              Doc.FilteredGroups, Doc.RecordSeconds,
-              static_cast<unsigned long long>(Doc.FilteredRecords),
-              Doc.SimulatedJobs, Doc.DedupedPoints);
+  if (Doc.PeriodicPass)
+    std::printf("shared   periodic warp pass %.3f s (%llu accesses, "
+                "%llu warped, %llu warps); %u filtered L1 streams "
+                "%.3f s (%llu records, %llu stored); %zu jobs (%zu "
+                "deduped points)\n",
+                Doc.PeriodicPassSeconds,
+                static_cast<unsigned long long>(Doc.TraceAccesses),
+                static_cast<unsigned long long>(
+                    Doc.PeriodicWarpedAccesses),
+                static_cast<unsigned long long>(Doc.PeriodicWarps),
+                Doc.FilteredGroups, Doc.RecordSeconds,
+                static_cast<unsigned long long>(Doc.FilteredRecords),
+                static_cast<unsigned long long>(
+                    Doc.FilteredStoredRecords),
+                Doc.SimulatedJobs, Doc.DedupedPoints);
+  else
+    std::printf("shared   trace pass %.3f s (%llu accesses); %u filtered "
+                "L1 streams %.3f s (%llu records); %zu jobs (%zu deduped "
+                "points)\n",
+                Doc.TracePassSeconds,
+                static_cast<unsigned long long>(Doc.TraceAccesses),
+                Doc.FilteredGroups, Doc.RecordSeconds,
+                static_cast<unsigned long long>(Doc.FilteredRecords),
+                Doc.SimulatedJobs, Doc.DedupedPoints);
+
+  // Per-method breakdown: point counts per method (from the points
+  // themselves) and the seconds the document attributes to each, so a
+  // sweep file alone substantiates its speedup claims. Shared with the
+  // wcs-sim live output (methodBreakdownLine).
+  std::printf("methods  %s\n", methodBreakdownLine(Doc).c_str());
+  for (const std::string &L1 : Doc.DemotedL1s)
+    std::printf("demoted  L1 group %s fell back to full simulation "
+                "(stream cap)\n",
+                L1.c_str());
 
   size_t Failed = 0;
   for (const SweepPoint &P : Doc.Points)

@@ -168,10 +168,11 @@ int main(int argc, char **argv) {
     unsigned Shift = 0;
     while ((1u << Shift) < FilterL1.BlockBytes)
       ++Shift;
-    for (const FilteredRecord &R : FS.records())
+    FS.forEachRecord([&](const FilteredRecord &R) {
       std::printf("%d %llx\n", R.IsWrite ? 1 : 0,
                   static_cast<unsigned long long>(
                       static_cast<uint64_t>(R.Block) << Shift));
+    });
     return 0;
   }
 
