@@ -26,6 +26,11 @@
 //                stream replays) vs independent per-point concrete runs
 //   fig12        non-warping tree simulation vs trace-driven simulation
 //                (LRU)
+//   hotloop      end-to-end accesses-per-second of the concrete backend:
+//                batched address generation + policy-templated SoA cache
+//                vs the per-access reference walk (BatchConcrete off),
+//                bit-identical counters enforced, >= 2x aggregate
+//                throughput required in the CI gate configuration
 //
 // Every warping/concrete and concrete/trace pair is verified to produce
 // identical miss counters before the file is written, so a results file
@@ -45,6 +50,7 @@
 #include "BenchCommon.h"
 #include "wcs/driver/Results.h"
 #include "wcs/driver/Sweep.h"
+#include "wcs/sim/ConcreteSimulator.h"
 #include "wcs/support/StringUtil.h"
 
 #include <cstdio>
@@ -68,7 +74,7 @@ void usage() {
       "  --out FILE       results file to write (default "
       "BENCH_results.json)\n"
       "  --suite NAME     fig06|fig07|fig07-sweep|fig07-warp-sweep|"
-      "fig09-hier|fig12; repeatable (default: all)\n"
+      "fig09-hier|fig12|hotloop; repeatable (default: all)\n"
       "  --jobs N         worker threads (0 = all cores; defaults to\n"
       "                   $WCS_JOBS, else 1 for clean timings; an\n"
       "                   explicit --jobs beats the environment)\n");
@@ -199,7 +205,8 @@ int main(int argc, char **argv) {
     } else if (A == "--suite") {
       std::string S = Next();
       if (S != "fig06" && S != "fig07" && S != "fig07-sweep" &&
-          S != "fig07-warp-sweep" && S != "fig09-hier" && S != "fig12") {
+          S != "fig07-warp-sweep" && S != "fig09-hier" && S != "fig12" &&
+          S != "hotloop") {
         std::fprintf(stderr, "error: unknown suite '%s'\n", S.c_str());
         return 2;
       }
@@ -224,7 +231,8 @@ int main(int argc, char **argv) {
   }
   if (Suites.empty())
     Suites = {"fig06",           "fig07",      "fig07-sweep",
-              "fig07-warp-sweep", "fig09-hier", "fig12"};
+              "fig07-warp-sweep", "fig09-hier", "fig12",
+              "hotloop"};
   auto HasSuite = [&](const char *Name) {
     for (const std::string &S : Suites)
       if (S == Name)
@@ -605,6 +613,71 @@ int main(int argc, char **argv) {
                    Aggregate, HierGrid.size());
       return 1;
     }
+  }
+
+  // The hot-loop suite: end-to-end accesses-per-second of the concrete
+  // backend, batched (BatchConcrete on: stride-generated address chunks
+  // through the policy-templated SoA cache) against the per-access
+  // reference walk (BatchConcrete off). Both runs are timed serially and
+  // verified bit-identical; the overhaul's >= 2x throughput contract is
+  // enforced in the CI gate configuration (serial jobs, gate sizes).
+  // All four policies of the scaled L1 are covered, same as fig06: LRU
+  // exercises the recency memmove, the fixed-way policies the mask scan
+  // and metadata updates.
+  if (HasSuite("hotloop")) {
+    double ScalarSeconds = 0.0, BatchSeconds = 0.0;
+    uint64_t ScalarAccesses = 0, BatchAccesses = 0;
+    std::vector<ResultEntry> HotEntries;
+    const PolicyKind HotPolicies[] = {PolicyKind::Lru, PolicyKind::Fifo,
+                                      PolicyKind::Plru,
+                                      PolicyKind::QuadAgeLru};
+    for (const KernelInfo &K : Kernels) {
+      const ScopProgram *P = Pool.get(K, Size);
+      for (PolicyKind Pol : HotPolicies) {
+        CacheConfig C = CacheConfig::scaledL1();
+        C.Policy = Pol;
+        HierarchyConfig H = HierarchyConfig::singleLevel(C);
+        SimOptions ScalarOpts;
+        ScalarOpts.BatchConcrete = false;
+        SimStats A = ConcreteSimulator(*P, H, ScalarOpts).run();
+        SimStats B = ConcreteSimulator(*P, H).run();
+        requireEqualMisses(K.Name, A, B);
+        ScalarSeconds += A.Seconds;
+        BatchSeconds += B.Seconds;
+        ScalarAccesses += A.SimulatedAccesses;
+        BatchAccesses += B.SimulatedAccesses;
+        std::string Prefix = std::string("hotloop/") + K.Name + "/" +
+                             toLowerAscii(policyName(Pol)) + "/";
+        ResultEntry E;
+        E.Backend = SimBackend::Concrete;
+        E.Cache = H;
+        E.Ok = true;
+        E.Tag = Prefix + "scalar";
+        E.Stats = A;
+        HotEntries.push_back(E);
+        E.Tag = Prefix + "batched";
+        E.Stats = B;
+        HotEntries.push_back(std::move(E));
+      }
+    }
+    double ScalarAps =
+        ScalarSeconds > 0 ? ScalarAccesses / ScalarSeconds : 0.0;
+    double BatchAps = BatchSeconds > 0 ? BatchAccesses / BatchSeconds : 0.0;
+    double Speedup = ScalarAps > 0 ? BatchAps / ScalarAps : 0.0;
+    std::printf("hotloop: %zu kernels x %zu policies, %.1fM -> %.1fM "
+                "accesses/s (%.2fx batched speedup)\n",
+                Kernels.size(), std::size(HotPolicies), ScalarAps / 1e6,
+                BatchAps / 1e6, Speedup);
+    if (Jobs == 1 && Size <= ProblemSize::Medium && Speedup < 2.0) {
+      std::fprintf(stderr,
+                   "fatal: hotloop batched throughput %.2fx is below the "
+                   "2x hot-loop overhaul contract\n",
+                   Speedup);
+      return 1;
+    }
+    SweepEntries.insert(SweepEntries.end(),
+                        std::make_move_iterator(HotEntries.begin()),
+                        std::make_move_iterator(HotEntries.end()));
   }
 
   // Per-suite geomean of slow/fast time ratios (the headline numbers).

@@ -26,14 +26,35 @@
 
 namespace wcs {
 
-/// Tree-based Pseudo-LRU over power-of-two associativity. Tree bits are
-/// stored heap-style in a uint32 (node 1 = root); bit == 1 means "the
-/// victim path continues right".
+/// Tree-based Pseudo-LRU over power-of-two associativity (enforced by
+/// CacheConfig::validate). Tree bits are stored heap-style in a uint32
+/// (node 1 = root); bit == 1 means "the victim path continues right".
+/// Both operations run once per cache access, so they are branchless:
+/// the tree walk consumes the bits of the way index (touch) or of the
+/// tree word (victim) arithmetically instead of taking data-dependent
+/// branches, which the access stream would mispredict constantly.
 struct PlruOps {
   /// Updates \p Bits after an access to \p Way (points the path away).
-  static void touch(uint32_t &Bits, unsigned Assoc, unsigned Way);
+  static void touch(uint32_t &Bits, unsigned Assoc, unsigned Way) {
+    // Level K consumes bit K of Way, root first: bit 0 of the walk is
+    // Way's top bit. Going left (bit 0) sets the node bit, going right
+    // clears it; Node doubles down the heap either way.
+    unsigned Node = 1;
+    for (unsigned K = static_cast<unsigned>(__builtin_ctz(Assoc)); K-- > 0;) {
+      unsigned Right = (Way >> K) & 1u;
+      Bits = (Bits & ~(1u << Node)) | ((Right ^ 1u) << Node);
+      Node = 2 * Node + Right;
+    }
+  }
   /// Returns the way selected for eviction by following the tree bits.
-  static unsigned victim(uint32_t Bits, unsigned Assoc);
+  static unsigned victim(uint32_t Bits, unsigned Assoc) {
+    // Leaves of the perfect heap are nodes [Assoc, 2*Assoc), left to
+    // right, so the leaf's way index is Node - Assoc.
+    unsigned Node = 1;
+    while (Node < Assoc)
+      Node = 2 * Node + ((Bits >> Node) & 1u);
+    return Node - Assoc;
+  }
 };
 
 /// Quad-age LRU modeled as 2-bit RRIP (paper reference [40], Jaleel et

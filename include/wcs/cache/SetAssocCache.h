@@ -10,6 +10,16 @@
 /// concrete simulator (payload: block + dirty bit) and the symbolic warping
 /// simulator (payload: block + symbolic tag).
 ///
+/// The hot-loop layout is struct-of-arrays: one cache-line-aligned BlockId
+/// array (what the per-access scan reads), one dirty bitset, and the policy
+/// metadata words -- instead of a vector of interleaved line structs. Any
+/// payload beyond (Block, Dirty) lives in a separate tag array described by
+/// a CacheLineTraits specialization, so the concrete cache's scan touches
+/// nothing but 8-byte block ids. The replacement policy is dispatched once
+/// per access() call -- or once per batch via accessAs<P>() -- into a
+/// per-policy accessImpl instantiation; there is no per-access dispatch
+/// inside the hit/fill handling.
+///
 /// Two features exist specifically for warping (paper Sec. 5):
 ///  - logical-to-physical set indirection, so that applying the set
 ///    rotation pi_rot^n of Theorem 4 is an O(1) base-offset update;
@@ -23,10 +33,13 @@
 
 #include "wcs/cache/CacheConfig.h"
 #include "wcs/cache/Policy.h"
+#include "wcs/support/AlignedAlloc.h"
 #include "wcs/support/MathUtil.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -36,6 +49,20 @@ namespace wcs {
 /// real blocks; kInvalidBlock marks empty cache lines.
 using BlockId = int64_t;
 inline constexpr BlockId kInvalidBlock = -1;
+
+/// Describes how a line payload maps onto the struct-of-arrays storage.
+/// The primary template covers payloads that are nothing but
+/// (Block, Dirty) -- e.g. ConcreteLine -- and stores no tag array at all.
+/// Payload types with extra state (the symbolic line's node id and
+/// iteration vector) specialize this with HasTag = true and a Tag struct
+/// holding exactly that extra state.
+template <typename LineT>
+struct CacheLineTraits {
+  static constexpr bool HasTag = false;
+  struct Tag {};
+  static void packTag(Tag &, const LineT &) {}
+  static void unpackTag(LineT &, const Tag &) {}
+};
 
 /// Outcome of a single cache access.
 struct AccessOutcome {
@@ -57,19 +84,31 @@ struct AccessOutcome {
 ///
 /// \tparam LineT must provide members `BlockId Block` and `bool Dirty`,
 /// be cheaply copyable, and default-construct to an invalid line
-/// (`Block == kInvalidBlock`).
+/// (`Block == kInvalidBlock`). Extra payload members require a
+/// CacheLineTraits specialization (see above); LineT itself is only ever
+/// assembled on demand (lineAt, lastEvicted, invalidate) -- the stored
+/// state is pure struct-of-arrays.
 template <typename LineT>
 class SetAssocCache {
+  using Traits = CacheLineTraits<LineT>;
+
 public:
+  using TagT = typename Traits::Tag;
+
   explicit SetAssocCache(const CacheConfig &Config)
       : Cfg(Config), Sets(Config.numSets()), Assoc(Config.Assoc),
-        SetMask(Sets - 1), Lines(static_cast<size_t>(Sets) * Assoc),
+        SetMask(Sets - 1), WordsPerSet((Assoc + 63) / 64),
+        WayMask(Assoc >= 64 ? ~0ull : (1ull << Assoc) - 1),
+        Blocks(static_cast<size_t>(Sets) * Assoc, kInvalidBlock),
+        DirtyBits(static_cast<size_t>(Sets) * WordsPerSet, 0),
         PlruBits(Sets, 0),
         Ages(Config.Policy == PolicyKind::QuadAgeLru
                  ? static_cast<size_t>(Sets) * Assoc
                  : 0,
              QlruOps::EvictAge) {
     assert(Config.validate().empty() && "invalid cache configuration");
+    if constexpr (Traits::HasTag)
+      Tags.resize(static_cast<size_t>(Sets) * Assoc);
   }
 
   const CacheConfig &config() const { return Cfg; }
@@ -93,34 +132,56 @@ public:
   /// Accesses block \p B. On a miss with \p Allocate, the block is
   /// inserted and the victim (if any) reported in the outcome. The caller
   /// is responsible for updating the payload at (Set, Way) after the call
-  /// (e.g. refreshing the symbolic tag, setting the dirty bit).
+  /// (e.g. refreshing the symbolic tag, setting the dirty bit). Dispatches
+  /// the replacement policy exactly once, at entry.
   AccessOutcome access(BlockId B, bool Allocate) {
-    assert(B >= 0 && "accessing an invalid block");
-    unsigned S = setOf(B);
-    MraSet = S;
-    LineT *W = setLines(S);
-    AccessOutcome R;
-    R.Set = S;
-    for (unsigned I = 0; I < Assoc; ++I) {
-      if (W[I].Block == B) {
-        R.Hit = true;
-        R.HitDepth = I;
-        R.Way = onHit(S, W, I);
-        return R;
-      }
+    switch (Cfg.Policy) {
+    case PolicyKind::Lru:
+      return accessImpl<PolicyKind::Lru>(B, Allocate);
+    case PolicyKind::Fifo:
+      return accessImpl<PolicyKind::Fifo>(B, Allocate);
+    case PolicyKind::Plru:
+      return accessImpl<PolicyKind::Plru>(B, Allocate);
+    case PolicyKind::QuadAgeLru:
+      return accessImpl<PolicyKind::QuadAgeLru>(B, Allocate);
     }
-    if (!Allocate)
-      return R;
-    R.Inserted = true;
-    R.Way = onFill(S, W, B, R);
-    return R;
+    return AccessOutcome();
   }
+
+  /// access() with the policy -- and optionally the associativity --
+  /// dispatched at the CALL SITE: batch loops switch once per chunk and
+  /// then run the fully specialized access path with zero per-access
+  /// dispatch. A nonzero \p CtAssoc bakes the way count into the
+  /// instantiation (it must equal assoc()), which fully unrolls the hit
+  /// scan into straight-line branchless code -- the win is largest for
+  /// the fixed-way policies (PLRU/QLRU), whose resident lines sit at
+  /// uniformly distributed scan depths.
+  template <PolicyKind P, unsigned CtAssoc = 0>
+  AccessOutcome accessAs(BlockId B, bool Allocate) {
+    assert(Cfg.Policy == P && "accessAs policy mismatch");
+    assert((CtAssoc == 0 || CtAssoc == Assoc) && "accessAs assoc mismatch");
+    return accessImpl<P, CtAssoc>(B, Allocate);
+  }
+
+  /// accessAs() without the per-access MRA-set bookkeeping: batch loops
+  /// call this and re-establish the invariant once per chunk with
+  /// noteAccessedSet(last block's set). Identical cache state otherwise.
+  template <PolicyKind P, unsigned CtAssoc = 0>
+  AccessOutcome accessAsNoMra(BlockId B, bool Allocate) {
+    assert(Cfg.Policy == P && "accessAs policy mismatch");
+    assert((CtAssoc == 0 || CtAssoc == Assoc) && "accessAs assoc mismatch");
+    return accessImpl<P, CtAssoc, /*TrackMra=*/false>(B, Allocate);
+  }
+
+  /// Restores the most-recently-accessed-set invariant after a batch of
+  /// accessAsNoMra() calls.
+  void noteAccessedSet(unsigned LogicalSet) { MraSet = LogicalSet; }
 
   /// True if \p B is currently cached (no state change).
   bool probe(BlockId B) const {
-    const LineT *W = setLines(setOf(B));
+    const BlockId *Row = row(phys(setOf(B)));
     for (unsigned I = 0; I < Assoc; ++I)
-      if (W[I].Block == B)
+      if (Row[I] == B)
         return true;
     return false;
   }
@@ -132,25 +193,34 @@ public:
   /// the back); PLRU/QLRU metadata for the slot is reset.
   std::optional<LineT> invalidate(BlockId B) {
     unsigned S = setOf(B);
-    LineT *W = setLines(S);
+    unsigned Ph = phys(S);
+    BlockId *Row = row(Ph);
     for (unsigned I = 0; I < Assoc; ++I) {
-      if (W[I].Block != B)
+      if (Row[I] != B)
         continue;
-      LineT Removed = W[I];
+      LineT Removed = assembleLine(Ph, I);
       switch (Cfg.Policy) {
       case PolicyKind::Lru:
       case PolicyKind::Fifo:
         // Close the recency gap; empty lines live at the back.
-        for (unsigned J = I; J + 1 < Assoc; ++J)
-          W[J] = W[J + 1];
-        W[Assoc - 1] = LineT();
-        break;
-      case PolicyKind::Plru:
-        W[I] = LineT();
+        std::memmove(Row + I, Row + I + 1,
+                     (Assoc - 1 - I) * sizeof(BlockId));
+        Row[Assoc - 1] = kInvalidBlock;
+        dirtyGapClose(Ph, I);
+        if constexpr (Traits::HasTag) {
+          TagT *TR = tagRow(Ph);
+          std::move(TR + I + 1, TR + Assoc, TR + I);
+          TR[Assoc - 1] = TagT();
+        }
         break;
       case PolicyKind::QuadAgeLru:
-        W[I] = LineT();
-        Ages[static_cast<size_t>(phys(S)) * Assoc + I] = QlruOps::EvictAge;
+        Ages[static_cast<size_t>(Ph) * Assoc + I] = QlruOps::EvictAge;
+        [[fallthrough]];
+      case PolicyKind::Plru:
+        Row[I] = kInvalidBlock;
+        dirtyAssign(Ph, I, false);
+        if constexpr (Traits::HasTag)
+          tagRow(Ph)[I] = TagT();
         break;
       }
       return Removed;
@@ -158,12 +228,45 @@ public:
     return std::nullopt;
   }
 
-  /// Line accessors by logical set index.
-  LineT &line(unsigned Set, unsigned Way) {
-    return Lines[static_cast<size_t>(phys(Set)) * Assoc + Way];
+  //===------------------------------------------------------------------===//
+  // Per-line accessors (logical set index). The stored state is
+  // struct-of-arrays, so there is no reference-to-whole-line accessor;
+  // readers assemble a value with lineAt and writers touch the exact
+  // component they mean.
+  //===------------------------------------------------------------------===//
+
+  /// The assembled payload at (Set, Way), by value.
+  LineT lineAt(unsigned Set, unsigned Way) const {
+    return assembleLine(phys(Set), Way);
   }
-  const LineT &line(unsigned Set, unsigned Way) const {
-    return Lines[static_cast<size_t>(phys(Set)) * Assoc + Way];
+
+  BlockId blockAt(unsigned Set, unsigned Way) const {
+    return Blocks[static_cast<size_t>(phys(Set)) * Assoc + Way];
+  }
+  void setBlockAt(unsigned Set, unsigned Way, BlockId B) {
+    Blocks[static_cast<size_t>(phys(Set)) * Assoc + Way] = B;
+  }
+
+  bool dirtyAt(unsigned Set, unsigned Way) const {
+    return dirtyBit(phys(Set), Way);
+  }
+  void setDirtyAt(unsigned Set, unsigned Way, bool V) {
+    dirtyAssign(phys(Set), Way, V);
+  }
+  void orDirtyAt(unsigned Set, unsigned Way, bool V) {
+    if (V)
+      dirtyAssign(phys(Set), Way, true);
+  }
+
+  /// The extra payload (beyond Block/Dirty) at (Set, Way); only
+  /// instantiable for payloads whose traits define a tag.
+  TagT &tagAt(unsigned Set, unsigned Way) {
+    static_assert(Traits::HasTag, "payload has no tag state");
+    return Tags[static_cast<size_t>(phys(Set)) * Assoc + Way];
+  }
+  const TagT &tagAt(unsigned Set, unsigned Way) const {
+    static_assert(Traits::HasTag, "payload has no tag state");
+    return Tags[static_cast<size_t>(phys(Set)) * Assoc + Way];
   }
 
   uint32_t plruBits(unsigned Set) const { return PlruBits[phys(Set)]; }
@@ -204,14 +307,20 @@ public:
     if (Sets != O.Sets || Assoc != O.Assoc || Cfg.Policy != O.Cfg.Policy)
       return false;
     for (unsigned S = 0; S < Sets; ++S) {
-      for (unsigned W = 0; W < Assoc; ++W) {
-        const LineT &A = line(S, W), &B = O.line(S, W);
-        if (A.Block != B.Block || A.Dirty != B.Dirty)
+      unsigned Ph = phys(S), OPh = O.phys(S);
+      const BlockId *RA = row(Ph), *RB = O.row(OPh);
+      if (std::memcmp(RA, RB, Assoc * sizeof(BlockId)) != 0)
+        return false;
+      for (unsigned W = 0; W < Assoc; ++W)
+        if (dirtyBit(Ph, W) != O.dirtyBit(OPh, W))
           return false;
-        if (Cfg.Policy == PolicyKind::QuadAgeLru && age(S, W) != O.age(S, W))
-          return false;
-      }
-      if (Cfg.Policy == PolicyKind::Plru && plruBits(S) != O.plruBits(S))
+      if (Cfg.Policy == PolicyKind::QuadAgeLru &&
+          std::memcmp(&Ages[static_cast<size_t>(Ph) * Assoc],
+                      &O.Ages[static_cast<size_t>(OPh) * Assoc],
+                      Assoc) != 0)
+        return false;
+      if (Cfg.Policy == PolicyKind::Plru &&
+          PlruBits[Ph] != O.PlruBits[OPh])
         return false;
     }
     return true;
@@ -230,10 +339,12 @@ public:
 
   /// Resets to the empty cache.
   void reset() {
-    for (LineT &L : Lines)
-      L = LineT();
+    std::fill(Blocks.begin(), Blocks.end(), kInvalidBlock);
+    std::fill(DirtyBits.begin(), DirtyBits.end(), 0ull);
     std::fill(PlruBits.begin(), PlruBits.end(), 0u);
     std::fill(Ages.begin(), Ages.end(), QlruOps::EvictAge);
+    if constexpr (Traits::HasTag)
+      std::fill(Tags.begin(), Tags.end(), TagT());
     Base = 0;
     MraSet = 0;
   }
@@ -244,92 +355,242 @@ private:
         static_cast<uint64_t>(LogicalSet + Base) & SetMask);
   }
 
-  LineT *setLines(unsigned LogicalSet) {
-    return &Lines[static_cast<size_t>(phys(LogicalSet)) * Assoc];
+  BlockId *row(unsigned Ph) {
+    return &Blocks[static_cast<size_t>(Ph) * Assoc];
   }
-  const LineT *setLines(unsigned LogicalSet) const {
-    return &Lines[static_cast<size_t>(phys(LogicalSet)) * Assoc];
+  const BlockId *row(unsigned Ph) const {
+    return &Blocks[static_cast<size_t>(Ph) * Assoc];
   }
-
-  /// Policy update on a hit at way \p I; returns the way where the line
-  /// now lives (LRU moves it to the front).
-  unsigned onHit(unsigned S, LineT *W, unsigned I) {
-    switch (Cfg.Policy) {
-    case PolicyKind::Lru:
-      rotateToFront(W, I);
-      return 0;
-    case PolicyKind::Fifo:
-      return I;
-    case PolicyKind::Plru:
-      PlruOps::touch(PlruBits[phys(S)], Assoc, I);
-      return I;
-    case PolicyKind::QuadAgeLru:
-      Ages[static_cast<size_t>(phys(S)) * Assoc + I] = QlruOps::HitAge;
-      return I;
-    }
-    return I;
+  /// row() with the way count supplied by the caller, so accessImpl
+  /// instantiations with a compile-time associativity index with a
+  /// constant multiplier (a shift for the power-of-two counts).
+  BlockId *rowAt(unsigned Ph, unsigned A) {
+    return &Blocks[static_cast<size_t>(Ph) * A];
+  }
+  TagT *tagRow(unsigned Ph) {
+    return &Tags[static_cast<size_t>(Ph) * Assoc];
   }
 
-  /// Inserts block \p B into set \p S; returns the way used and records
-  /// the victim in \p R.
-  unsigned onFill(unsigned S, LineT *W, BlockId B, AccessOutcome &R) {
-    unsigned Way = 0;
-    switch (Cfg.Policy) {
-    case PolicyKind::Lru:
-    case PolicyKind::Fifo: {
-      LineT Last = shiftDownForInsert(W, Assoc);
-      recordVictim(Last, R);
-      Way = 0;
-      break;
-    }
-    case PolicyKind::Plru: {
-      Way = firstInvalid(W);
-      if (Way == Assoc)
-        Way = PlruOps::victim(PlruBits[phys(S)], Assoc);
-      recordVictim(W[Way], R);
-      PlruOps::touch(PlruBits[phys(S)], Assoc, Way);
-      break;
-    }
-    case PolicyKind::QuadAgeLru: {
-      uint8_t *A = &Ages[static_cast<size_t>(phys(S)) * Assoc];
-      Way = firstInvalid(W);
-      if (Way == Assoc)
-        Way = QlruOps::victimAging(A, Assoc);
-      recordVictim(W[Way], R);
-      A[Way] = QlruOps::InsertAge;
-      break;
-    }
-    }
-    W[Way] = LineT();
-    W[Way].Block = B;
-    return Way;
+  //===------------------------------------------------------------------===//
+  // Dirty bitset: WordsPerSet 64-bit words per physical set, so a set's
+  // window never straddles another set's. Assoc <= 64 (every policy but
+  // LRU, and most LRU configs) is a single-word fast path; the multi-word
+  // fallback (fully-associative LRU up to 4096 ways) moves bits
+  // individually -- the block-id memmove dominates there anyway.
+  //===------------------------------------------------------------------===//
+
+  bool dirtyBit(unsigned Ph, unsigned W) const {
+    return (DirtyBits[static_cast<size_t>(Ph) * WordsPerSet + (W >> 6)] >>
+            (W & 63)) &
+           1;
+  }
+  void dirtyAssign(unsigned Ph, unsigned W, bool V) {
+    uint64_t &Word =
+        DirtyBits[static_cast<size_t>(Ph) * WordsPerSet + (W >> 6)];
+    uint64_t M = 1ull << (W & 63);
+    Word = V ? (Word | M) : (Word & ~M);
   }
 
-  unsigned firstInvalid(const LineT *W) const {
-    for (unsigned I = 0; I < Assoc; ++I)
-      if (W[I].Block == kInvalidBlock)
+  /// LRU hit at way \p I: dirty bits [0, I) shift up one, bit I moves to
+  /// the front (mirrors the block-id rotate-to-front).
+  void dirtyRotateToFront(unsigned Ph, unsigned I) {
+    if (WordsPerSet == 1) {
+      uint64_t &Word = DirtyBits[Ph];
+      uint64_t V = Word;
+      uint64_t HitBit = (V >> I) & 1;
+      uint64_t Low = V & ((1ull << I) - 1);
+      // (2ull << I) wraps to 0 at I == 63, masking off every bit -- which
+      // is exactly right: there are no bits above 63.
+      Word = (V & ~((2ull << I) - 1)) | (Low << 1) | HitBit;
+      return;
+    }
+    bool HitBit = dirtyBit(Ph, I);
+    for (unsigned J = I; J > 0; --J)
+      dirtyAssign(Ph, J, dirtyBit(Ph, J - 1));
+    dirtyAssign(Ph, 0, HitBit);
+  }
+
+  /// LRU/FIFO fill: every bit shifts up one (the last drops out with the
+  /// victim), the new front line starts clean.
+  void dirtyShiftInsert(unsigned Ph) {
+    if (WordsPerSet == 1) {
+      uint64_t &Word = DirtyBits[Ph];
+      Word = (Word << 1) & WayMask;
+      return;
+    }
+    for (unsigned J = Assoc - 1; J > 0; --J)
+      dirtyAssign(Ph, J, dirtyBit(Ph, J - 1));
+    dirtyAssign(Ph, 0, false);
+  }
+
+  /// LRU/FIFO invalidate at way \p I: bits above close the gap.
+  void dirtyGapClose(unsigned Ph, unsigned I) {
+    if (WordsPerSet == 1) {
+      uint64_t &Word = DirtyBits[Ph];
+      uint64_t V = Word;
+      uint64_t Low = V & ((1ull << I) - 1);
+      uint64_t High = I + 1 >= 64 ? 0 : (V >> (I + 1)) << I;
+      Word = Low | High;
+      return;
+    }
+    for (unsigned J = I; J + 1 < Assoc; ++J)
+      dirtyAssign(Ph, J, dirtyBit(Ph, J + 1));
+    dirtyAssign(Ph, Assoc - 1, false);
+  }
+
+  LineT assembleLine(unsigned Ph, unsigned W) const {
+    LineT L;
+    L.Block = Blocks[static_cast<size_t>(Ph) * Assoc + W];
+    L.Dirty = dirtyBit(Ph, W);
+    if constexpr (Traits::HasTag)
+      Traits::unpackTag(L, Tags[static_cast<size_t>(Ph) * Assoc + W]);
+    return L;
+  }
+
+  /// One fully specialized access path per policy; `if constexpr` keeps
+  /// each instantiation free of foreign-policy code and of any dispatch.
+  /// With a nonzero compile-time associativity the hit scan compares all
+  /// ways branchlessly into a match mask (one ctz recovers the way); the
+  /// runtime-assoc variant keeps the early-exit loop, which is what the
+  /// recency-ordered policies want when the way count is unknown.
+  template <PolicyKind P, unsigned CtAssoc = 0, bool TrackMra = true>
+  AccessOutcome accessImpl(BlockId B, bool Allocate) {
+    assert(B >= 0 && "accessing an invalid block");
+    const unsigned A = CtAssoc != 0 ? CtAssoc : Assoc;
+    unsigned S = setOf(B);
+    if constexpr (TrackMra)
+      MraSet = S;
+    unsigned Ph = phys(S);
+    BlockId *Row = rowAt(Ph, A);
+    AccessOutcome R;
+    R.Set = S;
+    unsigned I;
+    if constexpr (CtAssoc != 0 && P != PolicyKind::Lru) {
+      // Only LRU keeps its rows recency-ordered; under the fixed-way
+      // policies (PLRU/QLRU) and FIFO's insertion order, resident lines
+      // sit at uniformly distributed scan depths, so an early-exit scan
+      // mispredicts its exit on nearly every access. Comparing the
+      // whole row into a mask is branch-free and fully unrolled.
+      static_assert(CtAssoc <= 32, "mask scan is a narrow-way fast path");
+      uint32_t M = 0;
+      for (unsigned W = 0; W < CtAssoc; ++W)
+        M |= static_cast<uint32_t>(Row[W] == B) << W;
+      I = M != 0 ? static_cast<unsigned>(__builtin_ctz(M)) : CtAssoc;
+    } else {
+      // Recency-ordered rows (LRU/FIFO) hit near the front; the early
+      // exit is usually taken on the first or second compare.
+      for (I = 0; I < A; ++I)
+        if (Row[I] == B)
+          break;
+    }
+    if (I != A) {
+      R.Hit = true;
+      R.HitDepth = I;
+      if constexpr (P == PolicyKind::Lru) {
+        if (I != 0) {
+          std::memmove(Row + 1, Row, I * sizeof(BlockId));
+          Row[0] = B;
+          dirtyRotateToFront(Ph, I);
+          if constexpr (Traits::HasTag) {
+            TagT *TR = tagRow(Ph);
+            std::rotate(TR, TR + I, TR + I + 1);
+          }
+        }
+        R.Way = 0;
+      } else if constexpr (P == PolicyKind::Plru) {
+        PlruOps::touch(PlruBits[Ph], A, I);
+        R.Way = I;
+      } else if constexpr (P == PolicyKind::QuadAgeLru) {
+        Ages[static_cast<size_t>(Ph) * A + I] = QlruOps::HitAge;
+        R.Way = I;
+      } else { // FIFO: a hit changes nothing.
+        R.Way = I;
+      }
+      return R;
+    }
+    if (!Allocate)
+      return R;
+    R.Inserted = true;
+    if constexpr (P == PolicyKind::Lru || P == PolicyKind::Fifo) {
+      recordVictim(Ph, A - 1, R);
+      std::memmove(Row + 1, Row, (A - 1) * sizeof(BlockId));
+      Row[0] = B;
+      dirtyShiftInsert(Ph);
+      if constexpr (Traits::HasTag) {
+        TagT *TR = tagRow(Ph);
+        std::rotate(TR, TR + A - 1, TR + A);
+        TR[0] = TagT();
+      }
+      R.Way = 0;
+    } else if constexpr (P == PolicyKind::Plru) {
+      unsigned Way = firstInvalid(Row, A);
+      if (Way == A)
+        Way = PlruOps::victim(PlruBits[Ph], A);
+      recordVictim(Ph, Way, R);
+      PlruOps::touch(PlruBits[Ph], A, Way);
+      fillSlot(Ph, Way, B);
+      R.Way = Way;
+    } else { // Quad-age LRU.
+      uint8_t *Age = &Ages[static_cast<size_t>(Ph) * A];
+      unsigned Way = firstInvalid(Row, A);
+      if (Way == A)
+        Way = QlruOps::victimAging(Age, A);
+      recordVictim(Ph, Way, R);
+      Age[Way] = QlruOps::InsertAge;
+      fillSlot(Ph, Way, B);
+      R.Way = Way;
+    }
+    return R;
+  }
+
+  unsigned firstInvalid(const BlockId *Row, unsigned A) const {
+    for (unsigned I = 0; I < A; ++I)
+      if (Row[I] == kInvalidBlock)
         return I;
-    return Assoc;
+    return A;
   }
 
-  void recordVictim(const LineT &L, AccessOutcome &R) {
-    R.EvictedValid = L.Block != kInvalidBlock;
-    R.EvictedDirty = R.EvictedValid && L.Dirty;
-    R.EvictedBlock = L.Block;
-    if (R.EvictedValid)
-      EvictedLine = L;
+  /// In-place fill (PLRU/QLRU): new line, clean, default tag.
+  void fillSlot(unsigned Ph, unsigned Way, BlockId B) {
+    Blocks[static_cast<size_t>(Ph) * Assoc + Way] = B;
+    dirtyAssign(Ph, Way, false);
+    if constexpr (Traits::HasTag)
+      tagRow(Ph)[Way] = TagT();
+  }
+
+  /// Captures the victim at (Ph, Way) into \p R and EvictedLine BEFORE
+  /// the slot is overwritten.
+  void recordVictim(unsigned Ph, unsigned Way, AccessOutcome &R) {
+    BlockId VB = Blocks[static_cast<size_t>(Ph) * Assoc + Way];
+    R.EvictedValid = VB != kInvalidBlock;
+    R.EvictedBlock = VB;
+    R.EvictedDirty = R.EvictedValid && dirtyBit(Ph, Way);
+    if (R.EvictedValid) {
+      EvictedLine = LineT();
+      EvictedLine.Block = VB;
+      EvictedLine.Dirty = R.EvictedDirty;
+      if constexpr (Traits::HasTag)
+        Traits::unpackTag(EvictedLine,
+                          Tags[static_cast<size_t>(Ph) * Assoc + Way]);
+    }
   }
 
   CacheConfig Cfg;
   unsigned Sets;
   unsigned Assoc;
   uint64_t SetMask;
-  unsigned Base = 0;   ///< Logical-to-physical set rotation offset.
-  unsigned MraSet = 0; ///< Most-recently-accessed logical set.
-  LineT EvictedLine;   ///< Payload of the most recent victim.
-  std::vector<LineT> Lines;
+  unsigned WordsPerSet; ///< Dirty-bitset words per set.
+  uint64_t WayMask;     ///< Low Assoc bits set (single-word sets only).
+  unsigned Base = 0;    ///< Logical-to-physical set rotation offset.
+  unsigned MraSet = 0;  ///< Most-recently-accessed logical set.
+  LineT EvictedLine;    ///< Payload of the most recent victim.
+  /// Struct-of-arrays state, hot to cold: block ids (the scan), dirty
+  /// bits, policy metadata, then any cold tag payload.
+  std::vector<BlockId, AlignedAllocator<BlockId, 64>> Blocks;
+  std::vector<uint64_t, AlignedAllocator<uint64_t, 64>> DirtyBits;
   std::vector<uint32_t> PlruBits;
   std::vector<uint8_t> Ages;
+  std::vector<TagT> Tags; ///< Sized only when Traits::HasTag.
 };
 
 } // namespace wcs

@@ -127,9 +127,12 @@ public:
   /// all have run (same dynamic scheduling as run(), minus the
   /// simulation plumbing). Used by the sweep driver for work that is
   /// not a simulation job -- filtered-stream recordings, periodic
-  /// passes -- but parallelizes the same way. Tasks must not throw;
-  /// each task owns its slot's data, so no locking is needed as long as
-  /// tasks touch disjoint state.
+  /// passes -- but parallelizes the same way. Each task owns its slot's
+  /// data, so no locking is needed as long as tasks touch disjoint
+  /// state. A throwing task does not take down the process: remaining
+  /// tasks still run, and the first captured exception is rethrown here
+  /// after the pool joins. Callers wanting per-task failure semantics
+  /// catch inside the task body.
   void runTasks(const std::vector<std::function<void()>> &Tasks);
 
   /// Executes a single job synchronously on the calling thread (the unit

@@ -23,6 +23,7 @@
 #include "wcs/sim/SimStats.h"
 
 #include <functional>
+#include <vector>
 
 namespace wcs {
 
@@ -48,10 +49,31 @@ public:
       std::function<void(BlockId, bool IsWrite, const HierarchyOutcome &)>;
   void setTap(AccessTap T) { Tap = std::move(T); }
 
+  /// Narrower observer invoked only on L1 misses, in program order, with
+  /// the block and the write flag. Unlike setTap, a miss tap does NOT
+  /// disable batching: hits never reach it, so the batched hot loop can
+  /// keep running and call it from the (rare) miss branch. This is how
+  /// trace/FilteredStream records the L1-filtered stream at batched
+  /// speed. Must be set before run(); may throw to abort the simulation.
+  using MissTap = ConcreteHierarchy::L1MissSink;
+  void setMissTap(MissTap T) { MissTapFn = std::move(T); }
+
 private:
   void simulateNode(const Node *N, IterVec &Iter);
   void simulateLoop(const LoopNode *L, IterVec &Iter);
   void simulateAccess(const AccessNode *A, const IterVec &Iter);
+
+  /// True when \p L can run through the batched address path: every
+  /// child is an unguarded access whose subscripts are affine in the
+  /// loop iterator (i.e. plain AccessNodes -- the innermost-loop shape
+  /// of the polybench kernels).
+  bool loopIsBatchable(const LoopNode *L) const;
+  /// The batched walk of one loop activation over [Lo, Hi]: per included
+  /// child, a start address and a constant innermost stride; addresses
+  /// are generated incrementally into chunks and handed to
+  /// ConcreteHierarchy::accessBatch.
+  void simulateLoopBatched(const LoopNode *L, IterVec &Iter, int64_t Lo,
+                           int64_t Hi);
 
   const ScopProgram &Program;
   ConcreteHierarchy Cache;
@@ -59,6 +81,17 @@ private:
   SimStats Stats;
   unsigned BlockShift;
   AccessTap Tap;
+  MissTap MissTapFn;
+  bool UseBatch = false; ///< Resolved at run(): BatchConcrete && !Tap.
+  /// One batched child access: its running byte address and constant
+  /// innermost-loop stride.
+  struct BatchLane {
+    int64_t Addr;
+    int64_t Stride;
+    bool IsWrite;
+  };
+  std::vector<BatchLane> Lanes;        ///< Per-activation scratch.
+  std::vector<BatchedAccess> BatchBuf; ///< Chunk scratch, reused.
 };
 
 } // namespace wcs

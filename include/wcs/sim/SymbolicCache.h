@@ -40,7 +40,28 @@ struct SymLine {
   IterVec Iter;        ///< Iteration vector of the last touch.
 };
 
+/// The symbolic payload beyond (Block, Dirty) lives in the cache's tag
+/// array: the struct-of-arrays layout keeps the per-access block-id scan
+/// free of the (comparatively fat) iteration vectors.
+template <>
+struct CacheLineTraits<SymLine> {
+  static constexpr bool HasTag = true;
+  struct Tag {
+    int32_t NodeId = -1;
+    IterVec Iter;
+  };
+  static void packTag(Tag &T, const SymLine &L) {
+    T.NodeId = L.NodeId;
+    T.Iter = L.Iter;
+  }
+  static void unpackTag(SymLine &L, const Tag &T) {
+    L.NodeId = T.NodeId;
+    L.Iter = T.Iter;
+  }
+};
+
 using SymbolicCache = SetAssocCache<SymLine>;
+using SymTag = SymbolicCache::TagT;
 
 /// Result of one symbolic hierarchy access.
 struct SymAccessOutcome {

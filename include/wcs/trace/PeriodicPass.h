@@ -68,9 +68,12 @@ struct PeriodicPassResult {
   uint64_t missesForAssoc(uint64_t Assoc) const;
 
   /// Conditions \p Bank (of the same geometry) on the pass result: one
-  /// bulk update, truncating the bank at MaxAssoc.
-  void addTo(SetDistanceBank &Bank) const {
-    Bank.addPeriodicContribution(Histogram, 1, MaxAssoc);
+  /// bulk update, truncating the bank at MaxAssoc. Returns false --
+  /// leaving the bank untouched -- when the bank rejects the update
+  /// because its scaled counters would overflow; the caller must then
+  /// condition the bank through the linear pass instead.
+  [[nodiscard]] bool addTo(SetDistanceBank &Bank) const {
+    return Bank.addPeriodicContribution(Histogram, 1, MaxAssoc);
   }
 };
 

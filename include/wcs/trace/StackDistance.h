@@ -184,8 +184,16 @@ public:
   /// \p H came from a depth-profiling run that observes distances only
   /// below that associativity, and the bank afterwards answers only
   /// configurations with at most that many ways (enforced by matches()).
-  void addPeriodicContribution(const DistanceHistogram &H, uint64_t Reps,
-                               unsigned TruncatedAtAssoc = 0);
+  ///
+  /// Returns false -- leaving the bank completely untouched -- when any
+  /// of the scaled accumulations would overflow uint64. Callers treat
+  /// that exactly like a failed period verification (the Colds != 0
+  /// path) and fall back to walking the repetitions, which cannot
+  /// overflow: the walked counters grow by 1 per access, and 2^64
+  /// accesses are unwalkable.
+  [[nodiscard]] bool addPeriodicContribution(const DistanceHistogram &H,
+                                             uint64_t Reps,
+                                             unsigned TruncatedAtAssoc = 0);
 
   /// 0 when the bank is exact at every associativity; otherwise the
   /// largest associativity it can answer.

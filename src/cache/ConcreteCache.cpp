@@ -26,11 +26,18 @@ HierarchyOutcome ConcreteHierarchy::access(BlockId B, bool IsWrite) {
   AccessOutcome O1 = L1.access(B, Alloc1);
   R.L1Hit = O1.Hit;
   if (O1.Hit || O1.Inserted)
-    L1.line(O1.Set, O1.Way).Dirty |= IsWrite;
+    L1.orDirtyAt(O1.Set, O1.Way, IsWrite);
 
   if (O1.Hit || Levels.size() < 2)
     return R;
+  lowerLevels(B, IsWrite, Alloc1, O1, R);
+  return R;
+}
 
+void ConcreteHierarchy::lowerLevels(BlockId B, bool IsWrite, bool Alloc1,
+                                    const AccessOutcome &O1,
+                                    HierarchyOutcome &R) {
+  ConcreteCache &L1 = Levels.front();
   ConcreteCache &L2 = Levels[1];
   bool Alloc2 = !(IsWrite && L2.config().WriteAlloc == WriteAllocate::No);
   R.L2Accessed = true;
@@ -43,7 +50,7 @@ HierarchyOutcome ConcreteHierarchy::access(BlockId B, bool IsWrite) {
     AccessOutcome O2 = L2.access(B, Alloc2);
     R.L2Hit = O2.Hit;
     if (O2.Hit || O2.Inserted)
-      L2.line(O2.Set, O2.Way).Dirty |= IsWrite;
+      L2.orDirtyAt(O2.Set, O2.Way, IsWrite);
     if (Cfg.Inclusion == InclusionPolicy::Inclusive && O2.Inserted &&
         O2.EvictedValid && L1.invalidate(O2.EvictedBlock))
       ++R.BackInvalidations;
@@ -51,7 +58,7 @@ HierarchyOutcome ConcreteHierarchy::access(BlockId B, bool IsWrite) {
     if (Writebacks && O1.Inserted && O1.EvictedDirty) {
       AccessOutcome WB = L2.access(O1.EvictedBlock, /*Allocate=*/true);
       if (WB.Hit || WB.Inserted)
-        L2.line(WB.Set, WB.Way).Dirty = true;
+        L2.setDirtyAt(WB.Set, WB.Way, true);
       if (Cfg.Inclusion == InclusionPolicy::Inclusive && WB.Inserted &&
           WB.EvictedValid && L1.invalidate(WB.EvictedBlock))
         ++R.BackInvalidations;
@@ -72,18 +79,110 @@ HierarchyOutcome ConcreteHierarchy::access(BlockId B, bool IsWrite) {
     std::optional<ConcreteLine> InL2 = L2.invalidate(B);
     R.L2Hit = InL2.has_value();
     if (InL2)
-      L1.line(O1.Set, O1.Way).Dirty |= InL2->Dirty;
+      L1.orDirtyAt(O1.Set, O1.Way, InL2->Dirty);
     if (O1.Inserted && O1.EvictedValid) {
       AccessOutcome OV = L2.access(O1.EvictedBlock, /*Allocate=*/true);
       if (OV.Inserted)
-        L2.line(OV.Set, OV.Way).Dirty = O1.EvictedDirty;
+        L2.setDirtyAt(OV.Set, OV.Way, O1.EvictedDirty);
       else if (OV.Hit)
-        L2.line(OV.Set, OV.Way).Dirty |= O1.EvictedDirty;
+        L2.orDirtyAt(OV.Set, OV.Way, O1.EvictedDirty);
     }
     break;
   }
   }
-  return R;
+}
+
+template <PolicyKind P, unsigned CtAssoc>
+void ConcreteHierarchy::accessBatchImpl(const BatchedAccess *Ops, size_t N,
+                                        BatchCounters &C,
+                                        const L1MissSink *Sink) {
+  ConcreteCache &L1 = Levels.front();
+  const bool NoWriteAlloc = L1.config().WriteAlloc == WriteAllocate::No;
+  const bool TwoLevel = Levels.size() >= 2;
+  C.L1Accesses += N;
+  // Consecutive accesses to one block are guaranteed hits whose policy
+  // update is idempotent (LRU: already most recent; FIFO: no-op; PLRU:
+  // touch of the same way; QLRU: re-zeroing a zero hit age) -- only the
+  // dirty OR of a write still matters. Sub-block strides and stride-0
+  // operands make such runs common, so they bypass the cache entirely.
+  // For QLRU the previous access must itself have been a hit: a hit on
+  // a just-inserted line ages it InsertAge -> HitAge, a real update.
+  BlockId LastB = kInvalidBlock;
+  unsigned LastSet = 0, LastWay = 0;
+  for (size_t K = 0; K < N; ++K) {
+    BlockId B = Ops[K].block();
+    bool IsWrite = Ops[K].isWrite();
+    if (B == LastB) {
+      if (IsWrite)
+        L1.orDirtyAt(LastSet, LastWay, true);
+      continue;
+    }
+    bool Alloc1 = !(IsWrite && NoWriteAlloc);
+    AccessOutcome O1 = L1.accessAsNoMra<P, CtAssoc>(B, Alloc1);
+    bool Resident = P == PolicyKind::QuadAgeLru ? O1.Hit
+                                                : O1.Hit || O1.Inserted;
+    LastB = Resident ? B : kInvalidBlock;
+    LastSet = O1.Set;
+    LastWay = O1.Way;
+    if (O1.Hit) {
+      if (IsWrite)
+        L1.orDirtyAt(O1.Set, O1.Way, true);
+      continue;
+    }
+    ++C.L1Misses;
+    if (Sink)
+      (*Sink)(B, IsWrite);
+    if (O1.Inserted && IsWrite)
+      L1.orDirtyAt(O1.Set, O1.Way, true);
+    if (!TwoLevel)
+      continue;
+    HierarchyOutcome R;
+    lowerLevels(B, IsWrite, Alloc1, O1, R);
+    ++C.L2Accesses;
+    if (!R.L2Hit)
+      ++C.L2Misses;
+  }
+  if (N != 0)
+    L1.noteAccessedSet(L1.setOf(Ops[N - 1].block()));
+}
+
+template <PolicyKind P>
+void ConcreteHierarchy::accessBatchAs(const BatchedAccess *Ops, size_t N,
+                                      BatchCounters &C,
+                                      const L1MissSink *Sink) {
+  switch (Levels.front().assoc()) {
+  case 4:
+    accessBatchImpl<P, 4>(Ops, N, C, Sink);
+    break;
+  case 8:
+    accessBatchImpl<P, 8>(Ops, N, C, Sink);
+    break;
+  case 16:
+    accessBatchImpl<P, 16>(Ops, N, C, Sink);
+    break;
+  default:
+    accessBatchImpl<P, 0>(Ops, N, C, Sink);
+    break;
+  }
+}
+
+void ConcreteHierarchy::accessBatch(const BatchedAccess *Ops, size_t N,
+                                    BatchCounters &C,
+                                    const L1MissSink *Sink) {
+  switch (Levels.front().config().Policy) {
+  case PolicyKind::Lru:
+    accessBatchAs<PolicyKind::Lru>(Ops, N, C, Sink);
+    break;
+  case PolicyKind::Fifo:
+    accessBatchAs<PolicyKind::Fifo>(Ops, N, C, Sink);
+    break;
+  case PolicyKind::Plru:
+    accessBatchAs<PolicyKind::Plru>(Ops, N, C, Sink);
+    break;
+  case PolicyKind::QuadAgeLru:
+    accessBatchAs<PolicyKind::QuadAgeLru>(Ops, N, C, Sink);
+    break;
+  }
 }
 
 void ConcreteHierarchy::reset() {

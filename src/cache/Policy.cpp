@@ -11,38 +11,6 @@
 
 using namespace wcs;
 
-void PlruOps::touch(uint32_t &Bits, unsigned Assoc, unsigned Way) {
-  assert(Way < Assoc && "way out of range");
-  unsigned Node = 1, Lo = 0, Hi = Assoc;
-  while (Hi - Lo > 1) {
-    unsigned Mid = Lo + (Hi - Lo) / 2;
-    if (Way < Mid) {
-      Bits |= (1u << Node); // Accessed left; victim path points right.
-      Node = 2 * Node;
-      Hi = Mid;
-    } else {
-      Bits &= ~(1u << Node); // Accessed right; victim path points left.
-      Node = 2 * Node + 1;
-      Lo = Mid;
-    }
-  }
-}
-
-unsigned PlruOps::victim(uint32_t Bits, unsigned Assoc) {
-  unsigned Node = 1, Lo = 0, Hi = Assoc;
-  while (Hi - Lo > 1) {
-    unsigned Mid = Lo + (Hi - Lo) / 2;
-    if (Bits & (1u << Node)) {
-      Node = 2 * Node + 1;
-      Lo = Mid;
-    } else {
-      Node = 2 * Node;
-      Hi = Mid;
-    }
-  }
-  return Lo;
-}
-
 unsigned QlruOps::victimAging(uint8_t *Ages, unsigned Assoc) {
   for (;;) {
     for (unsigned W = 0; W < Assoc; ++W)

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -195,24 +196,39 @@ void BatchRunner::runTasks(const std::vector<std::function<void()>> &Tasks) {
   unsigned Threads = static_cast<unsigned>(std::min<size_t>(
       NumThreads, std::max<size_t>(1, Tasks.size())));
   std::atomic<size_t> Cursor{0};
+  // An exception escaping a worker thread would terminate the process,
+  // so the pool captures the first one, keeps draining the remaining
+  // tasks (they own independent result slots), and rethrows on the
+  // caller's thread after the join. Callers that want per-task failure
+  // handling must catch inside the task body.
+  std::mutex ErrorMutex;
+  std::exception_ptr FirstError;
   auto Worker = [&]() {
     for (;;) {
       size_t I = Cursor.fetch_add(1, std::memory_order_relaxed);
       if (I >= Tasks.size())
         return;
-      Tasks[I]();
+      try {
+        Tasks[I]();
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
     }
   };
   if (Threads <= 1) {
     Worker();
-    return;
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
   }
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (unsigned T = 0; T < Threads; ++T)
-    Pool.emplace_back(Worker);
-  for (std::thread &T : Pool)
-    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
 }
 
 BatchReport BatchRunner::run(const std::vector<BatchJob> &Jobs) {

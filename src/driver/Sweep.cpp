@@ -293,6 +293,9 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
     std::map<std::pair<unsigned, unsigned>, size_t> BankIndex;
     FilteredStream Stream;
     double FeedSeconds = 0.0;
+    /// Recording/feeding threw: the stream is unusable, exactly like a
+    /// truncated one, and the group's points demote to plain simulation.
+    bool Failed = false;
   };
   std::vector<FilteredGroup> Groups;
   std::map<std::string, size_t> GroupIndex; ///< L1 config key -> group.
@@ -405,25 +408,54 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
                              .count();
       Rep.PeriodicPassSeconds += PassProbeSeconds;
       PassResults.resize(Banks.size());
+      // A pass that throws (e.g. bad_alloc) must not poison its bank: a
+      // default-constructed PassResult holds an EMPTY histogram whose
+      // addTo would "succeed" and make every point on the bank report
+      // zero misses as if nothing was ever accessed. Track failures and
+      // demote those banks to the linear walk.
+      std::vector<uint8_t> PassFailed(Banks.size(), 0);
       std::vector<std::function<void()>> Tasks;
       Tasks.reserve(Banks.size());
       for (size_t B = 0; B < Banks.size(); ++B)
         Tasks.push_back([&Program, &Opts, &PassResults, &Banks,
-                         &BankMaxAssoc, B] {
-          PassResults[B] =
-              runPeriodicPass(Program, Banks[B].blockBytes(),
-                              Banks[B].numSets(), BankMaxAssoc[B],
-                              Opts.Sim);
+                         &BankMaxAssoc, &PassFailed, B] {
+          try {
+            PassResults[B] =
+                runPeriodicPass(Program, Banks[B].blockBytes(),
+                                Banks[B].numSets(), BankMaxAssoc[B],
+                                Opts.Sim);
+          } catch (...) {
+            PassFailed[B] = 1;
+          }
         });
       Runner.runTasks(Tasks);
+      // A bank may also reject a successful pass result (its bulk
+      // counters would overflow). Either way the bank stays empty and
+      // is conditioned by the linear pass below instead -- the same
+      // accesses, walked not scaled, so its points stay exact.
+      std::vector<SetDistanceBank *> Demoted;
       for (size_t B = 0; B < Banks.size(); ++B) {
-        PassResults[B].addTo(Banks[B]);
+        if (PassFailed[B] || !PassResults[B].addTo(Banks[B]))
+          Demoted.push_back(&Banks[B]);
         Rep.PeriodicPassSeconds += PassResults[B].Stats.Seconds;
         Rep.PeriodicWarps += PassResults[B].Stats.Warps;
         Rep.PeriodicWarpedAccesses +=
             PassResults[B].Stats.WarpedAccesses;
       }
       Rep.TraceAccesses = PassResults.front().Histogram.Accesses;
+      if (!Demoted.empty()) {
+        auto L0 = std::chrono::steady_clock::now();
+        uint64_t Walked =
+            generateTrace(Program, TO, [&](const TraceRecord &R) {
+              for (SetDistanceBank *B : Demoted)
+                B->accessAddr(R.Addr);
+            });
+        if (Rep.TraceAccesses == 0)
+          Rep.TraceAccesses = Walked;
+        Rep.TracePassSeconds += std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - L0)
+                                    .count();
+      }
     } else {
       Rep.TraceAccesses =
           generateTrace(Program, TO, [&](const TraceRecord &R) {
@@ -446,22 +478,30 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
     RecTasks.reserve(Groups.size());
     for (FilteredGroup &G : Groups)
       RecTasks.push_back([&Program, &Opts, &G] {
-        G.Stream = FilteredStream::record(Program, G.L1, Opts.Sim,
-                                          Opts.MaxFilteredRecords);
-        if (!G.Stream.truncated() && !G.Banks.empty()) {
-          auto F0 = std::chrono::steady_clock::now();
-          for (SetDistanceBank &B : G.Banks)
-            G.Stream.feed(B);
-          G.FeedSeconds = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - F0)
-                              .count();
+        // Same honesty rule as the periodic passes: a recording that
+        // throws leaves a default (empty, non-truncated) stream whose
+        // replays would report zero misses. Fail the group instead; its
+        // points demote to plain simulation below.
+        try {
+          G.Stream = FilteredStream::record(Program, G.L1, Opts.Sim,
+                                            Opts.MaxFilteredRecords);
+          if (!G.Stream.truncated() && !G.Banks.empty()) {
+            auto F0 = std::chrono::steady_clock::now();
+            for (SetDistanceBank &B : G.Banks)
+              G.Stream.feed(B);
+            G.FeedSeconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - F0)
+                                .count();
+          }
+        } catch (...) {
+          G.Failed = true;
         }
       });
     Runner.runTasks(RecTasks);
   }
   for (FilteredGroup &G : Groups) {
     Rep.RecordSeconds += G.Stream.recordSeconds() + G.FeedSeconds;
-    if (G.Stream.truncated()) {
+    if (G.Stream.truncated() || G.Failed) {
       Rep.DemotedL1s.push_back(G.L1.str());
       for (size_t I : G.Members) {
         Rep.Points[I].Method = SweepMethod::Simulated;
@@ -581,7 +621,7 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
   // add their job's replay time on top; the shares again sum back to
   // the true recording cost).
   for (FilteredGroup &G : Groups) {
-    if (G.Stream.truncated())
+    if (G.Stream.truncated() || G.Failed)
       continue;
     double GShare = G.Members.empty()
                         ? 0.0

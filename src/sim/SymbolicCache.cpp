@@ -28,10 +28,10 @@ SymAccessOutcome SymbolicHierarchy::access(BlockId B, bool IsWrite,
   R.L1Hit = O1.Hit;
   R.L1HitDepth = O1.HitDepth;
   if (O1.Hit || O1.Inserted) {
-    SymLine &L = L1.line(O1.Set, O1.Way);
-    L.NodeId = NodeId;
-    L.Iter = Iter;
-    L.Dirty |= IsWrite;
+    SymTag &T = L1.tagAt(O1.Set, O1.Way);
+    T.NodeId = NodeId;
+    T.Iter = Iter;
+    L1.orDirtyAt(O1.Set, O1.Way, IsWrite);
   }
   if (O1.Hit || Levels.size() < 2)
     return R;
@@ -46,10 +46,10 @@ SymAccessOutcome SymbolicHierarchy::access(BlockId B, bool IsWrite,
     AccessOutcome O2 = L2.access(B, Alloc2);
     R.L2Hit = O2.Hit;
     if (O2.Hit || O2.Inserted) {
-      SymLine &L = L2.line(O2.Set, O2.Way);
-      L.NodeId = NodeId;
-      L.Iter = Iter;
-      L.Dirty |= IsWrite;
+      SymTag &T = L2.tagAt(O2.Set, O2.Way);
+      T.NodeId = NodeId;
+      T.Iter = Iter;
+      L2.orDirtyAt(O2.Set, O2.Way, IsWrite);
     }
     if (Inclusion == InclusionPolicy::Inclusive && O2.Inserted &&
         O2.EvictedValid)
@@ -68,15 +68,15 @@ SymAccessOutcome SymbolicHierarchy::access(BlockId B, bool IsWrite,
     std::optional<SymLine> InL2 = L2.invalidate(B);
     R.L2Hit = InL2.has_value();
     if (InL2)
-      L1.line(O1.Set, O1.Way).Dirty |= InL2->Dirty;
+      L1.orDirtyAt(O1.Set, O1.Way, InL2->Dirty);
     if (O1.Inserted && O1.EvictedValid) {
       SymLine Victim = L1.lastEvicted();
       AccessOutcome OV = L2.access(O1.EvictedBlock, /*Allocate=*/true);
       if (OV.Hit || OV.Inserted) {
-        SymLine &L = L2.line(OV.Set, OV.Way);
-        L.NodeId = Victim.NodeId;
-        L.Iter = Victim.Iter;
-        L.Dirty = Victim.Dirty;
+        SymTag &T = L2.tagAt(OV.Set, OV.Way);
+        T.NodeId = Victim.NodeId;
+        T.Iter = Victim.Iter;
+        L2.setDirtyAt(OV.Set, OV.Way, Victim.Dirty);
       }
     }
     break;

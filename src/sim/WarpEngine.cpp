@@ -64,8 +64,8 @@ uint64_t WarpEngine::stateKey(const SymbolicHierarchy &State,
       unsigned S = (Mra + I) & (Sets - 1);
       H.add(C.policyWord(S));
       for (unsigned W = 0; W < Assoc; ++W) {
-        const SymLine &L = C.line(S, W);
-        if (L.Block == kInvalidBlock) {
+        BlockId Blk = C.blockAt(S, W);
+        if (Blk == kInvalidBlock) {
           H.add(uint64_t{0});
           continue;
         }
@@ -73,16 +73,17 @@ uint64_t WarpEngine::stateKey(const SymbolicHierarchy &State,
         // stable both across periodic re-touching (iteration advances
         // uniformly) and for frozen lines. Everything else hashes by its
         // concrete block.
-        bool Subtree = L.NodeId >= First && L.NodeId < End &&
-                       L.Iter.size() > D && L.Iter.prefixEquals(Scope.Prefix, D);
+        const SymTag &T = C.tagAt(S, W);
+        bool Subtree = T.NodeId >= First && T.NodeId < End &&
+                       T.Iter.size() > D && T.Iter.prefixEquals(Scope.Prefix, D);
         if (Subtree) {
           H.add(uint64_t{1});
-          H.add(static_cast<uint64_t>(L.NodeId));
-          for (unsigned K = D + 1; K < L.Iter.size(); ++K)
-            H.add(L.Iter[K]);
+          H.add(static_cast<uint64_t>(T.NodeId));
+          for (unsigned K = D + 1; K < T.Iter.size(); ++K)
+            H.add(T.Iter[K]);
         } else {
           H.add(uint64_t{2});
-          H.add(static_cast<uint64_t>(L.Block));
+          H.add(static_cast<uint64_t>(Blk));
         }
       }
     }
@@ -533,15 +534,17 @@ bool WarpEngine::checkWarp(const SymbolicHierarchy &Old,
       if (CO.policyWord(S) != CC.policyWord(S2))
         return false;
       for (unsigned W = 0; W < Assoc; ++W) {
-        const SymLine &L0 = CO.line(S, W);
-        const SymLine &L1 = CC.line(S2, W);
-        bool V0 = L0.Block != kInvalidBlock, V1 = L1.Block != kInvalidBlock;
+        BlockId B0 = CO.blockAt(S, W);
+        BlockId B1 = CC.blockAt(S2, W);
+        bool V0 = B0 != kInvalidBlock, V1 = B1 != kInvalidBlock;
         if (V0 != V1)
           return false;
         if (!V0)
           continue;
 
-        int64_t BlockDelta = L1.Block - L0.Block;
+        const SymTag &L0 = CO.tagAt(S, W);
+        const SymTag &L1 = CC.tagAt(S2, W);
+        int64_t BlockDelta = B1 - B0;
         bool Moving = false;
         if (L0.NodeId == L1.NodeId && L0.NodeId >= First && L0.NodeId < End) {
           const AccessNode *A = Program.accesses()[L0.NodeId];
@@ -572,11 +575,11 @@ bool WarpEngine::checkWarp(const SymbolicHierarchy &Old,
             return false;
 
         // Functionality and injectivity of pi across both levels.
-        auto [FIt, FNew] = PiFwd.try_emplace(L0.Block, L1.Block);
-        if (!FNew && FIt->second != L1.Block)
+        auto [FIt, FNew] = PiFwd.try_emplace(B0, B1);
+        if (!FNew && FIt->second != B1)
           return false;
-        auto [RIt, RNew] = PiRev.try_emplace(L1.Block, L0.Block);
-        if (!RNew && RIt->second != L0.Block)
+        auto [RIt, RNew] = PiRev.try_emplace(B1, B0);
+        if (!RNew && RIt->second != B0)
           return false;
         Plan.Moving[Lv][static_cast<size_t>(S2) * Assoc + W] = Moving;
       }
@@ -616,10 +619,11 @@ void WarpEngine::applyWarp(SymbolicHierarchy &State, const WarpScope &Scope,
       for (unsigned W = 0; W < Assoc; ++W) {
         if (!Plan.Moving[Lv][static_cast<size_t>(S) * Assoc + W])
           continue;
-        SymLine &L = C.line(S, W);
-        L.Iter[D] += Shift;
-        L.Block = Program.accesses()[L.NodeId]->Address.eval(L.Iter) >>
-                  BlockShift;
+        SymTag &T = C.tagAt(S, W);
+        T.Iter[D] += Shift;
+        C.setBlockAt(S, W,
+                     Program.accesses()[T.NodeId]->Address.eval(T.Iter) >>
+                         BlockShift);
       }
     }
     C.rotateSets(Plan.N * Plan.Rot[Lv]);

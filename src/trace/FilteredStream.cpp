@@ -173,10 +173,10 @@ FilteredStream FilteredStream::record(const ScopProgram &Program,
   FS.L1 = L1;
   auto T0 = std::chrono::steady_clock::now();
   ConcreteSimulator Sim(Program, HierarchyConfig::singleLevel(L1), Opts);
-  Sim.setTap([&FS, MaxRecords](BlockId B, bool IsWrite,
-                               const HierarchyOutcome &O) {
-    if (O.L1Hit)
-      return;
+  // A miss tap (not a full tap) keeps the recording run on the batched
+  // concrete hot loop: hits never surface, and misses are exactly what
+  // the record holds.
+  Sim.setMissTap([&FS, MaxRecords](BlockId B, bool IsWrite) {
     if (MaxRecords != 0 && FS.Records.size() >= MaxRecords) {
       // Fold periodic repetitions before giving up on the cap -- and
       // demand real headroom from the fold: anything less would
@@ -251,16 +251,18 @@ void FilteredStream::feed(SetDistanceBank &Bank) const {
     Bank.beginPeriodCapture();
     Walk();
     DistanceHistogram H = Bank.endPeriodCapture();
-    if (H.Colds != 0) {
+    if (H.Colds != 0 || !Bank.addPeriodicContribution(H, S.Reps - 2)) {
       // A repetition of an identical block sequence cannot touch a new
       // block, so a cold here falsifies the period hypothesis. It is
       // unreachable for verbatim RLE segments, but the check is the
-      // verification discipline: reject and fall back to walking.
+      // verification discipline: reject and fall back to walking. The
+      // same fallback covers a bulk update the bank rejects because the
+      // scaled counters would overflow (the walked path increments by
+      // one per access and cannot).
       for (uint64_t R = 2; R < S.Reps; ++R)
         Walk();
       continue;
     }
-    Bank.addPeriodicContribution(H, S.Reps - 2);
   }
 }
 

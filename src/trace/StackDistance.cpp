@@ -90,21 +90,41 @@ SetDistanceBank::SetDistanceBank(unsigned BlockBytes, unsigned NumSets)
     Sets.emplace_back(BlockBytes, NumSets > 1 ? 64 : 1024);
 }
 
-void SetDistanceBank::addPeriodicContribution(const DistanceHistogram &H,
+bool SetDistanceBank::addPeriodicContribution(const DistanceHistogram &H,
                                               uint64_t Reps,
                                               unsigned TruncatedAtAssoc) {
   assert(!Capturing && "cannot bulk-update while capturing a period");
+  // Validate every scaled accumulation before applying any of them, so
+  // a rejected update leaves the bank exactly as it was (the caller
+  // falls back to walking the repetitions against this same bank).
+  uint64_t Scaled, Accum;
+  for (size_t D = 0; D < H.Hist.size(); ++D) {
+    uint64_t Cur = D < BulkHist.size() ? BulkHist[D] : 0;
+    if (__builtin_mul_overflow(H.Hist[D], Reps, &Scaled) ||
+        __builtin_add_overflow(Cur, Scaled, &Accum))
+      return false;
+  }
+  // Colds and beyond-truncation distances both miss at every
+  // associativity the bank may answer afterwards.
+  uint64_t AlwaysMiss;
+  if (__builtin_add_overflow(H.Beyond, H.Colds, &AlwaysMiss) ||
+      __builtin_mul_overflow(AlwaysMiss, Reps, &Scaled) ||
+      __builtin_add_overflow(BulkAlwaysMiss, Scaled, &Accum))
+    return false;
+  if (__builtin_mul_overflow(H.Accesses, Reps, &Scaled) ||
+      __builtin_add_overflow(Total, Scaled, &Accum))
+    return false;
+
   if (BulkHist.size() < H.Hist.size())
     BulkHist.resize(H.Hist.size(), 0);
   for (size_t D = 0; D < H.Hist.size(); ++D)
     BulkHist[D] += H.Hist[D] * Reps;
-  // Colds and beyond-truncation distances both miss at every
-  // associativity the bank may answer afterwards.
   BulkAlwaysMiss += (H.Beyond + H.Colds) * Reps;
   Total += H.Accesses * Reps;
   if (TruncatedAtAssoc != 0 &&
       (TruncAssoc == 0 || TruncatedAtAssoc < TruncAssoc))
     TruncAssoc = TruncatedAtAssoc;
+  return true;
 }
 
 uint64_t SetDistanceBank::missesForAssoc(uint64_t Assoc) const {

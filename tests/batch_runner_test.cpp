@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <random>
+#include <stdexcept>
 
 using namespace wcs;
 using testutil::generateProgram;
@@ -165,6 +166,26 @@ TEST(BatchRunner, InvalidJobsFailIndividually) {
   EXPECT_FALSE(Rep.allOk());
   EXPECT_NE(Rep.Results[1].Error, "");
   EXPECT_NE(Rep.Results[2].Error, "");
+}
+
+TEST(BatchRunner, ThrowingTasksAreCapturedAndRethrown) {
+  // A task that throws must neither terminate the process (an exception
+  // escaping a worker thread would) nor starve the remaining tasks; the
+  // first exception resurfaces on the calling thread after the join.
+  for (unsigned Threads : {1u, 4u}) {
+    std::atomic<unsigned> Ran{0};
+    std::vector<std::function<void()>> Tasks;
+    for (int I = 0; I < 16; ++I) {
+      if (I % 4 == 1)
+        Tasks.push_back([] { throw std::runtime_error("injected"); });
+      else
+        Tasks.push_back([&Ran] { ++Ran; });
+    }
+    BatchRunner Runner(Threads);
+    EXPECT_THROW(Runner.runTasks(Tasks), std::runtime_error)
+        << Threads << " threads";
+    EXPECT_EQ(Ran.load(), 12u) << Threads << " threads";
+  }
 }
 
 TEST(BatchRunner, ParseJobCountIsStrict) {

@@ -72,8 +72,8 @@ void expectRelatedStates(const ConcreteCache &C1, const ConcreteCache &C2,
     EXPECT_EQ(C1.policyWord(S), C2.policyWord(S2))
         << "policy metadata differs at set " << S;
     for (unsigned W = 0; W < C1.assoc(); ++W) {
-      BlockId B1 = C1.line(S, W).Block;
-      BlockId B2 = C2.line(S2, W).Block;
+      BlockId B1 = C1.blockAt(S, W);
+      BlockId B2 = C2.blockAt(S2, W);
       if (B1 == kInvalidBlock)
         EXPECT_EQ(B2, kInvalidBlock);
       else

@@ -141,7 +141,7 @@ TEST(ConcreteCache, EvictionReporting) {
   EXPECT_FALSE(A.Hit);
   EXPECT_TRUE(A.Inserted);
   EXPECT_FALSE(A.EvictedValid);
-  C.line(A.Set, A.Way).Dirty = true;
+  C.setDirtyAt(A.Set, A.Way, true);
   AccessOutcome B = C.access(43, true);
   EXPECT_TRUE(B.EvictedValid);
   EXPECT_TRUE(B.EvictedDirty);
@@ -161,15 +161,15 @@ TEST(ConcreteCache, RotateSetsMovesContentLogically) {
     C.access(B, true);
   EXPECT_EQ(C.mraSet(), 3u);
   for (unsigned S = 0; S < 4; ++S)
-    EXPECT_EQ(C.line(S, 0).Block, static_cast<BlockId>(S));
+    EXPECT_EQ(C.blockAt(S, 0), static_cast<BlockId>(S));
   C.rotateSets(1);
   EXPECT_EQ(C.mraSet(), 0u);
   for (unsigned S = 0; S < 4; ++S)
-    EXPECT_EQ(C.line((S + 1) % 4, 0).Block, static_cast<BlockId>(S))
+    EXPECT_EQ(C.blockAt((S + 1) % 4, 0), static_cast<BlockId>(S))
         << "content of set " << S << " moved to set " << (S + 1) % 4;
   C.rotateSets(-1); // Rotation is invertible.
   for (unsigned S = 0; S < 4; ++S)
-    EXPECT_EQ(C.line(S, 0).Block, static_cast<BlockId>(S));
+    EXPECT_EQ(C.blockAt(S, 0), static_cast<BlockId>(S));
 }
 
 TEST(ConcreteCache, PolicyWordCapturesMetadata) {

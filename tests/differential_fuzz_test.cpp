@@ -1,0 +1,174 @@
+//===- tests/differential_fuzz_test.cpp - Randomized differential net -----===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// Seeded randomized differential harness: random programs x random
+// hierarchies x all four replacement policies, driven through every
+// backend and every sweep flavor, all required to agree bit for bit.
+// This is the bug-finding net under the SoA/policy-template hot-loop
+// refactor (and under any future change to the simulation floor): the
+// scalar concrete walk, the batched walk, the warping simulator, the
+// trace simulator and the sweep fast paths are independent
+// implementations of the same semantics, so any divergence is a bug in
+// one of them.
+//
+// The default iteration count keeps the suite in the sub-second range;
+// set WCS_FUZZ_ITERS for longer local runs (the seed stays fixed, so a
+// failure reproduces from the test name + iteration count alone).
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "wcs/driver/BatchRunner.h"
+#include "wcs/driver/Sweep.h"
+#include "wcs/sim/ConcreteSimulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+using namespace wcs;
+using testutil::generateProgram;
+using testutil::randomHierarchy;
+
+namespace {
+
+constexpr PolicyKind kPolicies[] = {PolicyKind::Lru, PolicyKind::Fifo,
+                                    PolicyKind::Plru,
+                                    PolicyKind::QuadAgeLru};
+
+/// Iterations per fuzz test: WCS_FUZZ_ITERS when set, else a default
+/// small enough for the suite to stay in the default ctest budget.
+unsigned fuzzIters() {
+  if (const char *Env = std::getenv("WCS_FUZZ_ITERS")) {
+    unsigned V = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+    if (V != 0)
+      return V;
+  }
+  return 20;
+}
+
+void expectStatsEqual(const SimStats &A, const SimStats &B,
+                      const std::string &Ctx) {
+  ASSERT_EQ(A.NumLevels, B.NumLevels) << Ctx;
+  EXPECT_EQ(A.totalAccesses(), B.totalAccesses()) << Ctx;
+  for (unsigned L = 0; L < A.NumLevels; ++L) {
+    EXPECT_EQ(A.Level[L].Accesses, B.Level[L].Accesses)
+        << Ctx << " level " << L;
+    EXPECT_EQ(A.Level[L].Misses, B.Level[L].Misses)
+        << Ctx << " level " << L;
+  }
+}
+
+/// The batched concrete walk (SoA hot loop, per-chunk policy and
+/// associativity dispatch, duplicate-block fast path) is an optimization
+/// of the scalar walk and must be invisible in every counter.
+TEST(DifferentialFuzz, BatchedConcreteMatchesScalarAllPolicies) {
+  std::mt19937 Rng(0xC0FFEE);
+  const unsigned Iters = fuzzIters();
+  for (unsigned I = 0; I < Iters; ++I) {
+    ScopProgram P = generateProgram(Rng);
+    for (PolicyKind K : kPolicies)
+      for (bool TwoLevel : {false, true}) {
+        HierarchyConfig H = randomHierarchy(Rng, K, TwoLevel);
+        SimOptions Scalar;
+        Scalar.BatchConcrete = false;
+        SimStats A = ConcreteSimulator(P, H, Scalar).run();
+        SimStats B = ConcreteSimulator(P, H).run();
+        expectStatsEqual(A, B,
+                         "iter " + std::to_string(I) + " " + H.str());
+      }
+  }
+}
+
+/// Warping, concrete and trace backends (plus stack-distance where it
+/// applies) are independent models of the same hierarchy semantics.
+TEST(DifferentialFuzz, BackendsAgreeAcrossRandomHierarchies) {
+  std::mt19937 Rng(0xBEEF);
+  const unsigned Iters = fuzzIters();
+  for (unsigned I = 0; I < Iters; ++I) {
+    ScopProgram P = generateProgram(Rng);
+    for (PolicyKind K : kPolicies) {
+      HierarchyConfig H =
+          randomHierarchy(Rng, K, /*TwoLevel=*/(I % 2) == 1);
+      std::string Ctx = "iter " + std::to_string(I) + " " + H.str();
+      BatchJob J;
+      J.Program = &P;
+      J.Cache = H;
+      BatchResult Ref;
+      for (SimBackend BE :
+           {SimBackend::Concrete, SimBackend::Warping, SimBackend::Trace}) {
+        J.Backend = BE;
+        BatchResult R = BatchRunner::runJob(J);
+        ASSERT_TRUE(R.Ok) << Ctx << ": " << R.Error;
+        if (BE == SimBackend::Concrete) {
+          Ref = R;
+          continue;
+        }
+        expectStatsEqual(Ref.Stats, R.Stats,
+                         Ctx + " backend " + backendName(BE));
+      }
+      if (H.numLevels() == 1 && K == PolicyKind::Lru &&
+          H.Levels.front().WriteAlloc == WriteAllocate::Yes) {
+        J.Backend = SimBackend::StackDistance;
+        BatchResult R = BatchRunner::runJob(J);
+        ASSERT_TRUE(R.Ok) << Ctx << ": " << R.Error;
+        EXPECT_EQ(Ref.Stats.Level[0].Misses, R.Stats.Level[0].Misses)
+            << Ctx << " stack-distance";
+      }
+    }
+  }
+}
+
+/// All three sweep flavors -- auto, forced-periodic (warp-aware shared
+/// pass) and forced-linear -- must answer every grid point with the
+/// exact counters an independent concrete simulation produces.
+TEST(DifferentialFuzz, SweepFlavorsBitIdentical) {
+  std::mt19937 Rng(0xD15EA5E);
+  const unsigned Iters = fuzzIters();
+  for (unsigned I = 0; I < Iters; ++I) {
+    ScopProgram P = generateProgram(Rng);
+    std::vector<HierarchyConfig> Grid;
+    for (PolicyKind K : kPolicies)
+      Grid.push_back(randomHierarchy(Rng, K, /*TwoLevel=*/(I % 2) == 0));
+    // A few single-level LRU capacity points keep the stack-distance
+    // fast path in every run.
+    for (unsigned Assoc : {1u, 4u})
+      Grid.push_back(HierarchyConfig::singleLevel(CacheConfig{
+          Assoc * 4 * 64, Assoc, 64, PolicyKind::Lru, WriteAllocate::Yes}));
+
+    SweepOptions Auto;
+    SweepOptions Periodic;
+    Periodic.WarpSweep = true;
+    Periodic.WarpSweepMinAccesses = 0; // Always take the periodic pass.
+    SweepOptions Linear;
+    Linear.WarpSweep = false;
+    const SweepReport Reports[] = {runSweep(P, Grid, Auto),
+                                   runSweep(P, Grid, Periodic),
+                                   runSweep(P, Grid, Linear)};
+    for (const SweepReport &Rep : Reports)
+      ASSERT_EQ(Rep.Points.size(), Grid.size());
+    for (size_t G = 0; G < Grid.size(); ++G) {
+      std::string Ctx =
+          "iter " + std::to_string(I) + " " + Grid[G].str();
+      SimStats Ref = ConcreteSimulator(P, Grid[G]).run();
+      for (const SweepReport &Rep : Reports) {
+        const SweepPoint &Pt = Rep.Points[G];
+        ASSERT_TRUE(Pt.Ok) << Ctx << ": " << Pt.Error;
+        ASSERT_EQ(Pt.Stats.NumLevels, Ref.NumLevels) << Ctx;
+        for (unsigned L = 0; L < Ref.NumLevels; ++L) {
+          EXPECT_EQ(Pt.Stats.Level[L].Accesses, Ref.Level[L].Accesses)
+              << Ctx << " level " << L << " ("
+              << sweepMethodName(Pt.Method) << ")";
+          EXPECT_EQ(Pt.Stats.Level[L].Misses, Ref.Level[L].Misses)
+              << Ctx << " level " << L << " ("
+              << sweepMethodName(Pt.Method) << ")";
+        }
+      }
+    }
+  }
+}
+
+} // namespace

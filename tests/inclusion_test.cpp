@@ -42,7 +42,7 @@ void checkInvariant(const ConcreteHierarchy &H, InclusionPolicy P) {
   const ConcreteCache &L2 = H.level(1);
   for (unsigned S = 0; S < L1.numSets(); ++S) {
     for (unsigned W = 0; W < L1.assoc(); ++W) {
-      BlockId B = L1.line(S, W).Block;
+      BlockId B = L1.blockAt(S, W);
       if (B == kInvalidBlock)
         continue;
       if (P == InclusionPolicy::Inclusive) {

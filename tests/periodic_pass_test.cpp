@@ -56,7 +56,7 @@ void expectPassesAgree(const ScopProgram &P, unsigned BlockBytes,
   PeriodicPassResult R =
       runPeriodicPass(P, BlockBytes, NumSets, MaxAssoc);
   SetDistanceBank Warp(BlockBytes, NumSets);
-  R.addTo(Warp);
+  ASSERT_TRUE(R.addTo(Warp));
   EXPECT_EQ(Warp.totalAccesses(), Linear.totalAccesses()) << P.str();
   EXPECT_EQ(Warp.truncatedAtAssoc(), MaxAssoc);
   for (uint64_t Assoc = 1; Assoc <= MaxAssoc; Assoc *= 2) {
@@ -118,7 +118,7 @@ TEST(PeriodicPass, TruncatedBankAnswersOnlyWithinDepth) {
   PeriodicPassResult R = runPeriodicPass(P, 64, 1, 8);
   SetDistanceBank Bank(64, 1);
   EXPECT_EQ(Bank.truncatedAtAssoc(), 0u); // Exact before the update.
-  R.addTo(Bank);
+  ASSERT_TRUE(R.addTo(Bank));
   EXPECT_EQ(Bank.truncatedAtAssoc(), 8u);
   CacheConfig Within{8 * 64, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
   CacheConfig Beyond{16 * 64, 16, 64, PolicyKind::Lru,

@@ -93,7 +93,7 @@ TEST(StackDistance, PeriodCaptureAndBulkUpdateMatchLinearWalk) {
   DistanceHistogram H = Bulk.endPeriodCapture();
   EXPECT_EQ(H.Colds, 0u) << "identical repetition cannot touch new blocks";
   EXPECT_EQ(H.Accesses, Period.size());
-  Bulk.addPeriodicContribution(H, Reps - 2);
+  ASSERT_TRUE(Bulk.addPeriodicContribution(H, Reps - 2));
   Walk(Bulk, Suffix);
 
   EXPECT_EQ(Bulk.totalAccesses(), Linear.totalAccesses());
@@ -101,6 +101,57 @@ TEST(StackDistance, PeriodCaptureAndBulkUpdateMatchLinearWalk) {
   for (uint64_t Assoc = 1; Assoc <= 16; ++Assoc)
     EXPECT_EQ(Bulk.missesForAssoc(Assoc), Linear.missesForAssoc(Assoc))
         << "assoc " << Assoc;
+}
+
+TEST(StackDistance, OverflowingBulkUpdateIsRejectedAtomically) {
+  // Adversarial repetition counts: any scaled accumulation that would
+  // overflow uint64 must be rejected with the bank left bit-identical,
+  // so the caller can demote to walking the repetitions (the Colds>0
+  // path). Pre-fix this silently wrapped and produced garbage miss
+  // counts.
+  SetDistanceBank Bank(64, 1);
+  for (BlockId B : {0, 1, 2, 0, 2, 1})
+    Bank.accessBlock(B);
+  DistanceHistogram Seed;
+  Seed.Hist = {5, 1};
+  Seed.Beyond = 2;
+  Seed.Accesses = 8;
+  ASSERT_TRUE(Bank.addPeriodicContribution(Seed, 3));
+  const uint64_t Total = Bank.totalAccesses();
+  const uint64_t M1 = Bank.missesForAssoc(1);
+  const uint64_t M2 = Bank.missesForAssoc(2);
+
+  // Histogram scaling overflows: 3 * (2^64 / 2) > 2^64 - 1.
+  DistanceHistogram H;
+  H.Hist = {0, 3};
+  H.Accesses = 3;
+  EXPECT_FALSE(Bank.addPeriodicContribution(H, UINT64_MAX / 2));
+
+  // Later checks overflow after earlier ones pass: the histogram column
+  // scales fine (1 * 2), the access total does not. The bank must not
+  // keep the partially validated histogram bump.
+  DistanceHistogram Tail;
+  Tail.Hist = {1};
+  Tail.Accesses = UINT64_MAX;
+  EXPECT_FALSE(Bank.addPeriodicContribution(Tail, 2));
+
+  // Always-miss scaling overflows (Beyond * Reps).
+  DistanceHistogram Far;
+  Far.Beyond = UINT64_MAX / 2;
+  Far.Accesses = 1;
+  EXPECT_FALSE(Bank.addPeriodicContribution(Far, 3));
+
+  EXPECT_EQ(Bank.totalAccesses(), Total);
+  EXPECT_EQ(Bank.missesForAssoc(1), M1);
+  EXPECT_EQ(Bank.missesForAssoc(2), M2);
+  EXPECT_EQ(Bank.truncatedAtAssoc(), 0u);
+
+  // The rejected fragment still enters fine at a sane repetition count
+  // and lands exactly where an untouched bank would put it.
+  ASSERT_TRUE(Bank.addPeriodicContribution(H, 4));
+  EXPECT_EQ(Bank.totalAccesses(), Total + 12);
+  EXPECT_EQ(Bank.missesForAssoc(1), M1 + 12);
+  EXPECT_EQ(Bank.missesForAssoc(2), M2);
 }
 
 TEST(StackDistance, CaptureFlagsColdAccessesAsPeriodicityViolation) {
@@ -121,7 +172,7 @@ TEST(StackDistance, TruncatedContributionLimitsMatches) {
   H.Hist = {4, 2};
   H.Beyond = 3;
   H.Accesses = 9;
-  Bank.addPeriodicContribution(H, 2, /*TruncatedAtAssoc=*/4);
+  ASSERT_TRUE(Bank.addPeriodicContribution(H, 2, /*TruncatedAtAssoc=*/4));
   EXPECT_EQ(Bank.truncatedAtAssoc(), 4u);
   EXPECT_EQ(Bank.totalAccesses(), 18u);
   // missesForAssoc(1) = (2 + 3) * 2; missesForAssoc(2+) = 3 * 2.
@@ -133,9 +184,9 @@ TEST(StackDistance, TruncatedContributionLimitsMatches) {
   EXPECT_TRUE(Bank.matches(Within));
   EXPECT_FALSE(Bank.matches(Beyond));
   // A tighter later truncation wins; a looser one must not widen it.
-  Bank.addPeriodicContribution(H, 1, /*TruncatedAtAssoc=*/8);
+  ASSERT_TRUE(Bank.addPeriodicContribution(H, 1, /*TruncatedAtAssoc=*/8));
   EXPECT_EQ(Bank.truncatedAtAssoc(), 4u);
-  Bank.addPeriodicContribution(H, 1, /*TruncatedAtAssoc=*/2);
+  ASSERT_TRUE(Bank.addPeriodicContribution(H, 1, /*TruncatedAtAssoc=*/2));
   EXPECT_EQ(Bank.truncatedAtAssoc(), 2u);
 }
 

@@ -149,6 +149,39 @@ TEST(Sweep, PartitionAndProvenance) {
             Rep.Points[2].Stats.Level[0].Accesses);
 }
 
+TEST(Sweep, ErroredJobsSurfaceAsFailedPointsNotZeroMisses) {
+  // A grid point whose job errors (here: a FIFO point forced onto the
+  // stack-distance backend, which models LRU only) must come back as a
+  // failed point with a non-empty error -- never as an Ok point with
+  // zero-miss counters -- and must not poison the answerable points.
+  std::mt19937 Rng(99);
+  ScopProgram P = generateProgram(Rng);
+
+  CacheConfig Lru{8 * 64, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig Fifo{8 * 64, 8, 64, PolicyKind::Fifo, WriteAllocate::Yes};
+  std::vector<HierarchyConfig> Configs = {
+      HierarchyConfig::singleLevel(Lru), HierarchyConfig::singleLevel(Fifo)};
+
+  SweepOptions SO;
+  SO.Backend = SimBackend::StackDistance;
+  SweepReport Rep = runSweep(P, Configs, SO);
+  ASSERT_EQ(Rep.Points.size(), 2u);
+
+  const SweepPoint &Good = Rep.Points[0];
+  EXPECT_TRUE(Good.Ok) << Good.Error;
+  EXPECT_GT(Good.Stats.Level[0].Misses, 0u);
+
+  const SweepPoint &Bad = Rep.Points[1];
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_NE(Bad.Error, "");
+
+  for (const SweepPoint &Pt : Rep.Points)
+    if (Pt.Ok) {
+      EXPECT_GT(Pt.Stats.Level[0].Accesses, 0u)
+          << "an Ok point must carry real counters";
+    }
+}
+
 TEST(Sweep, BankDegeneratesToFullyAssociativeProfiler) {
   std::mt19937 Rng(11);
   ScopProgram P = generateProgram(Rng);

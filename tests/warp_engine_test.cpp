@@ -159,7 +159,8 @@ TEST(WarpEngine, CheckWarpRejectsOffPeriodAndPerturbedStates) {
   // consistent.
   runSweep(P, Cache, 606, 609);
   SymbolicHierarchy Broken = Cache;
-  Broken.level(0).line(3, 0).Block += 8; // Same set, wrong block.
+  // Same set, wrong block.
+  Broken.level(0).setBlockAt(3, 0, Broken.level(0).blockAt(3, 0) + 8);
   EXPECT_FALSE(E.checkWarp(Snapshot, Broken, S, 601, 609, Plan));
 
   // Sanity: the unperturbed state still matches.
@@ -237,8 +238,8 @@ TEST(WarpEngine, ApplyWarpRotatesAndReconcretizes) {
   runSweep(P, Ref, 601, 609 + Plan.N * Plan.Delta);
   for (unsigned Set = 0; Set < 8; ++Set)
     for (unsigned Way = 0; Way < 2; ++Way) {
-      EXPECT_EQ(Cache.level(0).line(Set, Way).Block,
-                Ref.level(0).line(Set, Way).Block)
+      EXPECT_EQ(Cache.level(0).blockAt(Set, Way),
+                Ref.level(0).blockAt(Set, Way))
           << "set " << Set << " way " << Way;
     }
   EXPECT_EQ(Cache.level(0).mraSet(), Ref.level(0).mraSet());

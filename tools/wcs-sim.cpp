@@ -87,6 +87,10 @@ void usage() {
       "                        L1-miss-filtered stream, NINE semantics)\n"
       "  --sweep-json FILE     write the sweep as JSON (wcs-sweep "
       "schema)\n"
+      "  --max-filtered-records N\n"
+      "                        cap the stored records of one L1-miss\n"
+      "                        stream (0 = unlimited; capped groups\n"
+      "                        fall back to full simulation)\n"
       "  --jobs N              simulate on N worker threads "
       "(default 1; 0 = all cores)\n"
       "  --dump                print the program tree before simulating\n"
@@ -119,6 +123,8 @@ int main(int argc, char **argv) {
   CacheConfig L1{4096, 8, 64, PolicyKind::Plru, WriteAllocate::Yes};
   CacheConfig L2;
   bool Sweep = false, WarpSweep = true;
+  uint64_t MaxFilteredRecords = 0;
+  bool MaxFilteredRecordsSet = false;
   uint64_t WarpSweepThreshold = 0;
   bool WarpSweepThresholdSet = false;
   std::string SweepL1Spec = "8K:256K:x2,assoc=8", SweepL2Spec,
@@ -172,6 +178,17 @@ int main(int argc, char **argv) {
       Sweep = true;
     } else if (A == "--sweep-json") {
       SweepJsonPath = Next();
+      Sweep = true;
+    } else if (A == "--max-filtered-records") {
+      const char *N = Next();
+      if (!parseUInt64(N, MaxFilteredRecords, UINT64_MAX)) {
+        std::fprintf(stderr,
+                     "error: --max-filtered-records expects a "
+                     "non-negative record count, got '%s'\n",
+                     N);
+        return 2;
+      }
+      MaxFilteredRecordsSet = true;
       Sweep = true;
     } else if (A == "--no-warp-sweep") {
       WarpSweep = false;
@@ -333,6 +350,8 @@ int main(int argc, char **argv) {
       SO.WarpSweepMinAccesses = WarpSweepThreshold;
     if (BackendSet)
       SO.Backend = Backend;
+    if (MaxFilteredRecordsSet)
+      SO.MaxFilteredRecords = MaxFilteredRecords;
     SweepReport Rep = runSweep(P, Grid, SO);
 
     std::printf("program  %s  (%zu grid points)\n\n", P.Name.c_str(),
@@ -365,7 +384,7 @@ int main(int argc, char **argv) {
                   100.0 * Pt.Stats.Level[0].missRatio(),
                   Pt.Stats.Seconds);
     }
-    std::printf("\nsweep    %s\n", Rep.summary().c_str());
+    std::fprintf(stderr, "sweep    %s\n", Rep.summary().c_str());
     // Per-method breakdown: where the sweep's time actually went, so
     // speedup claims are auditable straight from the run. Rendered
     // from the packaged document by the same formatter wcs-report
@@ -373,15 +392,16 @@ int main(int argc, char **argv) {
     SweepDoc Doc = makeSweepDoc(
         "wcs-sim", P.Name, File.empty() ? problemSizeName(Size) : "",
         Rep);
-    std::printf("methods  %s\n", methodBreakdownLine(Doc).c_str());
+    std::fprintf(stderr, "methods  %s\n",
+                 methodBreakdownLine(Doc).c_str());
 
     if (!SweepJsonPath.empty()) {
       if (!writeSweepFile(SweepJsonPath, Doc, &Err)) {
         std::fprintf(stderr, "error: %s\n", Err.c_str());
         return 1;
       }
-      std::printf("results  wrote %zu points to %s\n", Doc.Points.size(),
-                  SweepJsonPath.c_str());
+      std::fprintf(stderr, "results  wrote %zu points to %s\n",
+                   Doc.Points.size(), SweepJsonPath.c_str());
     }
     return Rep.allOk() ? 0 : 1;
   }
@@ -469,15 +489,16 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 1;
     }
-    std::printf("results  wrote %zu entries to %s\n", Doc.Entries.size(),
-                JsonPath.c_str());
+    std::fprintf(stderr, "results  wrote %zu entries to %s\n",
+                 Doc.Entries.size(), JsonPath.c_str());
   }
 
   if (Work.size() > 1)
-    std::printf("\nbatch    %s\n", Rep.summary().c_str());
+    std::fprintf(stderr, "batch    %s\n", Rep.summary().c_str());
   if (Compare && Rep.Threads > 1)
-    std::printf("note     speedups measured with %u concurrent jobs include "
-                "contention; use --jobs 1 for clean timings\n",
-                Rep.Threads);
+    std::fprintf(stderr,
+                 "note     speedups measured with %u concurrent jobs "
+                 "include contention; use --jobs 1 for clean timings\n",
+                 Rep.Threads);
   return AllMatch ? 0 : 1;
 }
