@@ -83,12 +83,6 @@ struct CacheConfig {
   static CacheConfig scaledL2();
 };
 
-/// Parses the tools' cache-level spelling "BYTES,ASSOC,POLICY" (exactly
-/// three fields, 64 B blocks) into \p Out, e.g. "4096,8,plru". Shared by
-/// wcs-sim --l1/--l2 and wcs-trace --filtered. Returns false on
-/// malformed specs, leaving \p Out untouched.
-bool parseCacheSpec(const std::string &Spec, CacheConfig &Out);
-
 /// Inclusion policies of two-level hierarchies (paper Sec. 2.3 /
 /// appendix A.2). The paper's implementation supports NINE; inclusive
 /// and exclusive hierarchies also satisfy data independence, and this

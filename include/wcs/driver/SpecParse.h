@@ -1,0 +1,77 @@
+//===- wcs/driver/SpecParse.h - Config/grid spec parsing --------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one parsing authority for every user-facing cache-configuration
+/// spelling: the single-level cache spec ("BYTES,ASSOC,POLICY" behind
+/// wcs-sim --l1/--l2 and wcs-trace --filtered), the sweep grid syntax
+/// ("8K:256K:x2,assoc=4,8" behind wcs-sim --sweep-l1/--sweep-l2 and the
+/// grid member of wcs-request documents), and the grid-to-hierarchy
+/// expansion both the CLI and the wcs-serve daemon run. Tools and the
+/// daemon parse through these entry points only, so a spec means exactly
+/// the same thing no matter which surface it arrives through; byte
+/// counts within the specs go through support/StringUtil's
+/// parseByteSize. Directly unit-tested in tests/spec_parse_test.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_DRIVER_SPECPARSE_H
+#define WCS_DRIVER_SPECPARSE_H
+
+#include "wcs/cache/CacheConfig.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcs {
+
+/// Parses the tools' cache-level spelling "BYTES,ASSOC,POLICY" (exactly
+/// three fields, 64 B blocks) into \p Out, e.g. "4096,8,plru". Shared by
+/// wcs-sim --l1/--l2 and wcs-trace --filtered. Returns false on
+/// malformed specs, leaving \p Out untouched.
+bool parseCacheSpec(const std::string &Spec, CacheConfig &Out);
+
+/// The grid of one cache level: capacities x associativities x policies
+/// at a fixed block size. Expanded as a cross product.
+struct SweepLevelGrid {
+  std::vector<uint64_t> SizesBytes;
+  /// Way counts; the value 0 encodes "fully associative" (one set, the
+  /// HayStack cache model), resolved per capacity during expansion.
+  std::vector<unsigned> Assocs = {8};
+  std::vector<PolicyKind> Policies = {PolicyKind::Lru};
+  unsigned BlockBytes = 64;
+
+  friend bool operator==(const SweepLevelGrid &,
+                         const SweepLevelGrid &) = default;
+};
+
+/// Parses the wcs-sim sweep grid syntax for one level:
+///
+///   SIZES[,assoc=A[,A...]][,policy=P[,P...]][,block=N]
+///
+/// SIZES is one or more capacities ("8K", "4096", "1M") or geometric
+/// ranges "LO:HI:xF" (LO, LO*F, ... up to HI inclusive). assoc values
+/// are way counts or "full" (fully associative); policies are the
+/// wcs-sim policy spellings (lru|fifo|plru|qlru); block takes a single
+/// byte count. Example: "8K:256K:x2,assoc=4,8" is six capacities times
+/// two way counts = twelve LRU points. Returns false with a diagnostic
+/// in \p Err on malformed specs.
+bool parseSweepLevelGrid(const std::string &Spec, SweepLevelGrid &Out,
+                         std::string *Err);
+
+/// Expands one or two level grids into the hierarchy-config list of a
+/// sweep (cross product over levels; no \p L2 = single-level). Every
+/// expanded configuration is validated; the first invalid point fails
+/// the expansion with a diagnostic naming it.
+bool expandSweepGrid(const SweepLevelGrid &L1, const SweepLevelGrid *L2,
+                     InclusionPolicy Inclusion,
+                     std::vector<HierarchyConfig> &Out, std::string *Err);
+
+} // namespace wcs
+
+#endif // WCS_DRIVER_SPECPARSE_H

@@ -50,6 +50,7 @@
 #define WCS_DRIVER_SWEEP_H
 
 #include "wcs/driver/BatchRunner.h"
+#include "wcs/driver/SpecParse.h"
 #include "wcs/support/Json.h"
 
 #include <cstdint>
@@ -66,6 +67,11 @@ enum class SweepMethod {
   /// L2s answered from a conditioned bank, Concrete for replayed L2s.
   FilteredStream,
   Simulated, ///< Dedicated simulation job through BatchRunner.
+  /// Answered from the wcs-serve content-addressed result store: the
+  /// counters were computed by an earlier request (whose own method
+  /// provenance was one of the above at insert time) and returned
+  /// verbatim, bit-identical to fresh simulation.
+  Store,
 };
 
 const char *sweepMethodName(SweepMethod M);
@@ -73,39 +79,6 @@ const char *sweepMethodName(SweepMethod M);
 /// Inverse of sweepMethodName. Returns false on an unknown name, leaving
 /// \p Out untouched.
 bool parseSweepMethodName(const std::string &Name, SweepMethod &Out);
-
-/// The grid of one cache level: capacities x associativities x policies
-/// at a fixed block size. Expanded as a cross product.
-struct SweepLevelGrid {
-  std::vector<uint64_t> SizesBytes;
-  /// Way counts; the value 0 encodes "fully associative" (one set, the
-  /// HayStack cache model), resolved per capacity during expansion.
-  std::vector<unsigned> Assocs = {8};
-  std::vector<PolicyKind> Policies = {PolicyKind::Lru};
-  unsigned BlockBytes = 64;
-};
-
-/// Parses the wcs-sim sweep grid syntax for one level:
-///
-///   SIZES[,assoc=A[,A...]][,policy=P[,P...]][,block=N]
-///
-/// SIZES is one or more capacities ("8K", "4096", "1M") or geometric
-/// ranges "LO:HI:xF" (LO, LO*F, ... up to HI inclusive). assoc values
-/// are way counts or "full" (fully associative); policies are the
-/// wcs-sim policy spellings (lru|fifo|plru|qlru); block takes a single
-/// byte count. Example: "8K:256K:x2,assoc=4,8" is six capacities times
-/// two way counts = twelve LRU points. Returns false with a diagnostic
-/// in \p Err on malformed specs.
-bool parseSweepLevelGrid(const std::string &Spec, SweepLevelGrid &Out,
-                         std::string *Err);
-
-/// Expands one or two level grids into the hierarchy-config list of a
-/// sweep (cross product over levels; no \p L2 = single-level). Every
-/// expanded configuration is validated; the first invalid point fails
-/// the expansion with a diagnostic naming it.
-bool expandSweepGrid(const SweepLevelGrid &L1, const SweepLevelGrid *L2,
-                     InclusionPolicy Inclusion,
-                     std::vector<HierarchyConfig> &Out, std::string *Err);
 
 /// Outcome of one grid point.
 struct SweepPoint {

@@ -1,0 +1,108 @@
+//===- wcs/serve/Protocol.h - wcs-serve wire protocol -----------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wcs-serve wire protocol: line-framed compact JSON documents over
+/// a Unix-domain stream socket. One connection serves one exchange:
+///
+///   client -> server   one line: a wcs-request v1 document, or the
+///                      control document {"schema":"wcs-control",
+///                      "schema_version":1,"cmd":"shutdown"}
+///   server -> client   zero or more wcs-progress lines (one per grid
+///                      point as its result lands: {"schema":
+///                      "wcs-progress","schema_version":1,"point":I,
+///                      "total":N,"cache":"...","method":"store",
+///                      "ok":true}), then exactly one final line -- a
+///                      wcs-response v1 document (or a wcs-control ack
+///                      for shutdown) -- and the server closes.
+///
+/// Compact dumps contain no raw newlines (the JSON writer escapes them
+/// inside strings), so '\n' frames are unambiguous. This header also
+/// carries the client side used by `wcs-serve --client` and the tests:
+/// submit a request, surface each progress line, return the parsed
+/// response.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SERVE_PROTOCOL_H
+#define WCS_SERVE_PROTOCOL_H
+
+#include "wcs/driver/SweepRequest.h"
+
+#include <functional>
+#include <string>
+
+namespace wcs {
+
+inline constexpr const char ControlSchemaName[] = "wcs-control";
+inline constexpr const char ProgressSchemaName[] = "wcs-progress";
+inline constexpr int64_t ServeProtocolVersion = 1;
+
+/// One per-point progress notification.
+struct ProgressEvent {
+  size_t Point = 0;    ///< Grid-point index, input order.
+  size_t Total = 0;    ///< Points in the request.
+  std::string Cache;   ///< HierarchyConfig::str() of the point.
+  SweepMethod Method = SweepMethod::Simulated;
+  bool Ok = false;
+};
+
+json::Value toJson(const ProgressEvent &E);
+bool fromJson(const json::Value &V, ProgressEvent &Out, std::string *Err);
+
+//===----------------------------------------------------------------------===//
+// Socket plumbing (thin POSIX wrappers; fd < 0 = failure)
+//===----------------------------------------------------------------------===//
+
+/// Binds and listens on a Unix-domain stream socket at \p Path,
+/// unlinking a stale socket file first. Returns the listening fd or -1
+/// with a diagnostic.
+int listenUnix(const std::string &Path, std::string *Err);
+
+/// Connects to the daemon at \p Path. Returns the fd or -1.
+int connectUnix(const std::string &Path, std::string *Err);
+
+/// Writes \p Line plus the '\n' frame, handling short writes.
+bool sendLine(int Fd, const std::string &Line, std::string *Err);
+
+/// Buffered '\n'-framed reader for one socket.
+class LineReader {
+public:
+  explicit LineReader(int Fd) : Fd(Fd) {}
+  /// Reads one line (without the '\n'). Returns false on EOF or error;
+  /// the two are told apart by \p Err, untouched on clean EOF.
+  bool readLine(std::string &Out, std::string *Err);
+
+private:
+  int Fd;
+  std::string Buf;
+};
+
+void closeFd(int Fd);
+
+//===----------------------------------------------------------------------===//
+// Client side
+//===----------------------------------------------------------------------===//
+
+/// Submits \p Req to the daemon at \p SocketPath and blocks until the
+/// final response line. Every wcs-progress line is surfaced through
+/// \p OnProgress (may be null). Returns false -- with a transport- or
+/// protocol-level diagnostic -- only when no well-formed response
+/// arrived; a response with Ok=false returns true (the failure is the
+/// daemon's answer, in \p Response).
+bool submitSweepRequest(const std::string &SocketPath,
+                        const SweepRequest &Req, SweepResponse &Response,
+                        const std::function<void(const ProgressEvent &)>
+                            &OnProgress,
+                        std::string *Err);
+
+/// Asks the daemon to shut down and waits for its ack.
+bool requestShutdown(const std::string &SocketPath, std::string *Err);
+
+} // namespace wcs
+
+#endif // WCS_SERVE_PROTOCOL_H

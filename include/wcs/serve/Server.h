@@ -1,0 +1,64 @@
+//===- wcs/serve/Server.h - The wcs-serve daemon ----------------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving core behind tools/wcs-serve: serveSweepRequest() answers
+/// one wcs-request against a ResultStore -- store hits return their
+/// stored SweepPoint verbatim under method "store" provenance, misses
+/// are sharded through the existing runSweep machinery (which itself
+/// partitions them across the stack-distance / filtered-stream /
+/// simulated fast paths) and the fresh results are inserted back -- and
+/// runServer() wraps it in the accept loop speaking serve/Protocol.
+/// serveSweepRequest is the whole semantic surface; the tests drive it
+/// directly and through the socket, and both must agree bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SERVE_SERVER_H
+#define WCS_SERVE_SERVER_H
+
+#include "wcs/serve/Protocol.h"
+#include "wcs/serve/ResultStore.h"
+
+#include <functional>
+#include <string>
+
+namespace wcs {
+
+/// Serves one request: prepare, look every expanded point up in
+/// \p Store, run the misses through runSweep with \p Threads workers,
+/// insert the fresh Ok points, and package everything as a
+/// wcs-response. Store hits keep their stored counters bit-identical
+/// and are re-labeled method "store"; failed points are never stored.
+/// \p OnProgress (may be null) fires once per point in input order.
+/// Malformed requests come back as Ok=false responses, never as a
+/// transport error.
+SweepResponse
+serveSweepRequest(const SweepRequest &Req, ResultStore &Store,
+                  unsigned Threads,
+                  const std::function<void(const ProgressEvent &)>
+                      &OnProgress);
+
+struct ServerOptions {
+  std::string SocketPath;
+  std::string StorePath; ///< Empty = in-memory store.
+  unsigned Threads = 0;  ///< Workers per request (0 = all cores).
+};
+
+/// The daemon: open the store, listen, serve one connection at a time
+/// (each request already fans out across the BatchRunner pool, so
+/// serialized connections keep the machine's parallelism budget in one
+/// place), exit cleanly on a wcs-control shutdown. Diagnostics on
+/// stderr only; nothing is ever written to stdout. \p OnReady (may be
+/// null) fires once the socket is accepting -- tests use it instead of
+/// polling. Returns false with \p Err on setup failure.
+bool runServer(const ServerOptions &Opts,
+               const std::function<void()> &OnReady, std::string *Err);
+
+} // namespace wcs
+
+#endif // WCS_SERVE_SERVER_H

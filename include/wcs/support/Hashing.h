@@ -6,9 +6,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Deterministic 64-bit hashing used for symbolic cache-state keys.
-/// The warping simulator hashes full symbolic cache states once per loop
-/// iteration probe, so the mixer is a cheap splitmix64-style function.
+/// Deterministic 64-bit hashing used for symbolic cache-state keys and
+/// for content-addressing canonicalized sweep requests in the wcs-serve
+/// result store. The warping simulator hashes full symbolic cache
+/// states once per loop iteration probe, so the mixer is a cheap
+/// splitmix64-style function; the byte/string entry points reuse it
+/// word-at-a-time so store keys are deterministic across platforms and
+/// runs (no pointer or seed dependence).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +20,8 @@
 #define WCS_SUPPORT_HASHING_H
 
 #include <cstdint>
+#include <cstring>
+#include <string>
 
 namespace wcs {
 
@@ -46,6 +52,43 @@ public:
 private:
   uint64_t State = 0x2545f4914f6cdd1dULL;
 };
+
+/// Hashes a byte buffer: full little-endian words through the
+/// order-sensitive combiner, then the (zero-padded) tail and the length
+/// so "ab","c" and "a","bc" differ. Deterministic across platforms.
+inline uint64_t hashBytes(const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  HashStream H;
+  size_t I = 0;
+  for (; I + 8 <= Len; I += 8) {
+    uint64_t W = 0;
+    for (unsigned B = 0; B < 8; ++B)
+      W |= static_cast<uint64_t>(P[I + B]) << (8 * B);
+    H.add(W);
+  }
+  if (I < Len) {
+    uint64_t W = 0;
+    for (unsigned B = 0; I + B < Len; ++B)
+      W |= static_cast<uint64_t>(P[I + B]) << (8 * B);
+    H.add(W);
+  }
+  H.add(static_cast<uint64_t>(Len));
+  return H.digest();
+}
+
+inline uint64_t hashString(const std::string &S) {
+  return hashBytes(S.data(), S.size());
+}
+
+/// Renders a 64-bit hash as the fixed-width 16-digit lowercase hex the
+/// result store uses as its content-address key.
+inline std::string hashHex(uint64_t H) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I, H >>= 4)
+    S[static_cast<size_t>(I)] = Digits[H & 0xf];
+  return S;
+}
 
 } // namespace wcs
 

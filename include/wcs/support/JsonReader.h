@@ -1,4 +1,4 @@
-//===- src/driver/JsonFieldHelpers.h - fromJson field plumbing -*- C++ -*-===//
+//===- wcs/support/JsonReader.h - Typed JSON document reading ---*- C++ -*-===//
 //
 // Part of the wcs project, a reproduction of "Warping Cache Simulation of
 // Polyhedral Programs" (PLDI 2022).
@@ -6,20 +6,43 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Shared member-extraction helpers behind every fromJson of the results
-/// layer (Results.cpp) and the sweep layer (Sweep.cpp): fetch an object
-/// member, check its kind, and produce the uniform "missing or mistyped
-/// member" diagnostics. Internal to src/driver — results files are read
-/// through the typed fromJson entry points, never through these.
+/// The reader API behind every schema-versioned wcs document: the
+/// wcs-results and wcs-sweep files plus the wcs-request/wcs-response
+/// serving protocol. Three layers:
+///
+///  - needX(V, Key, Out, Err): fetch object member \p Key, demand kind
+///    X, fail with the uniform "missing or mistyped member" diagnostic.
+///    Counters and config fields are written as exact JSON integers, so
+///    the integer readers demand the Int kind outright: a fractional,
+///    out-of-range or (for unsigned fields) negative number is a
+///    malformed file and fails loudly instead of being truncated or
+///    wrapped into a plausible value.
+///
+///  - optX(V, Key, Out, Err): an absent member leaves \p Out at its
+///    caller-set default and succeeds; a present but mistyped member
+///    still fails loudly. For fields added to a schema after its first
+///    release -- writers always emit them, but older files of the same
+///    version must keep parsing.
+///
+///  - needSchema(V, Name, Version, Err): the envelope check every
+///    document reader runs first. Rejects a wrong "schema" member
+///    ("not a <Name> file") and a wrong "schema_version" ("unsupported
+///    schema version"), so no reader ever half-parses a document it
+///    does not speak. Rejection behavior for all four document types is
+///    pinned by tests/json_reader_test.cpp.
+///
+/// Documents are still read through their typed fromJson entry points;
+/// these helpers are what those entry points are built from.
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef WCS_DRIVER_JSONFIELDHELPERS_H
-#define WCS_DRIVER_JSONFIELDHELPERS_H
+#ifndef WCS_SUPPORT_JSONREADER_H
+#define WCS_SUPPORT_JSONREADER_H
 
 #include "wcs/support/Json.h"
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 
 namespace wcs {
@@ -42,11 +65,6 @@ inline bool needMember(const json::Value &V, const char *Key,
     return failMsg(Err, std::string("missing member '") + Key + "'");
   return true;
 }
-
-// Counters and config fields are written as exact JSON integers, so the
-// readers demand the Int kind outright: a fractional, out-of-range or
-// (for unsigned fields) negative number is a malformed file and fails
-// loudly instead of being truncated or wrapped into a plausible value.
 
 inline bool needUInt(const json::Value &V, const char *Key, uint64_t &Out,
                      std::string *Err) {
@@ -125,11 +143,14 @@ inline bool needArray(const json::Value &V, const char *Key,
   return true;
 }
 
-// Optional variants: an absent member leaves \p Out at its caller-set
-// default and succeeds; a present but mistyped member still fails
-// loudly. For fields added to a schema after its first release --
-// writers always emit them, but older files of the same version must
-// keep parsing.
+inline bool needObject(const json::Value &V, const char *Key,
+                       const json::Value *&Out, std::string *Err) {
+  if (!needMember(V, Key, Out, Err))
+    return false;
+  if (!Out->isObject())
+    return failMsg(Err, std::string("member '") + Key + "' must be an object");
+  return true;
+}
 
 inline bool optUInt(const json::Value &V, const char *Key, uint64_t &Out,
                     std::string *Err) {
@@ -159,7 +180,38 @@ inline bool optBool(const json::Value &V, const char *Key, bool &Out,
   return V.find(Key) == nullptr || needBool(V, Key, Out, Err);
 }
 
+inline bool optString(const json::Value &V, const char *Key, std::string &Out,
+                      std::string *Err) {
+  if (!V.isObject())
+    return failMsg(Err, "expected an object");
+  return V.find(Key) == nullptr || needString(V, Key, Out, Err);
+}
+
+/// The envelope check of every schema-versioned document reader:
+/// demands `"schema": Name` and `"schema_version": Version` before any
+/// payload member is touched. A document of another type fails with
+/// "not a <Name> file"; a version this reader does not speak fails
+/// with "unsupported schema version".
+inline bool needSchema(const json::Value &V, const char *Name,
+                       int64_t Version, std::string *Err) {
+  std::string Schema;
+  int64_t Got;
+  if (!needString(V, "schema", Schema, Err) ||
+      !needInt(V, "schema_version", Got, Err))
+    return false;
+  if (Schema != Name)
+    return failMsg(Err, "not a " + std::string(Name) + " file (schema '" +
+                            Schema + "')");
+  if (Got != Version) {
+    std::ostringstream OS;
+    OS << "unsupported schema version " << Got << " (this reader speaks "
+       << Version << ")";
+    return failMsg(Err, OS.str());
+  }
+  return true;
+}
+
 } // namespace jsonfield
 } // namespace wcs
 
-#endif // WCS_DRIVER_JSONFIELDHELPERS_H
+#endif // WCS_SUPPORT_JSONREADER_H

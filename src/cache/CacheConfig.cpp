@@ -43,27 +43,6 @@ bool wcs::parsePolicyName(const std::string &Name, PolicyKind &Out) {
   return true;
 }
 
-bool wcs::parseCacheSpec(const std::string &Spec, CacheConfig &Out) {
-  std::istringstream IS(Spec);
-  std::string Bytes, Assoc, Pol, Extra;
-  if (!std::getline(IS, Bytes, ',') || !std::getline(IS, Assoc, ',') ||
-      !std::getline(IS, Pol, ',') || std::getline(IS, Extra, ','))
-    return false; // Exactly three fields; trailing junk is a typo.
-  CacheConfig C;
-  uint64_t AssocVal;
-  // Sizes cap at int64 max so a config always serializes as an exact
-  // JSON integer (see Value(uint64_t) in Json.h).
-  if (!parseUInt64(Bytes, C.SizeBytes, INT64_MAX) ||
-      !parseUInt64(Assoc, AssocVal, UINT32_MAX))
-    return false;
-  C.Assoc = static_cast<unsigned>(AssocVal);
-  C.BlockBytes = 64;
-  if (!parsePolicyName(Pol, C.Policy))
-    return false;
-  Out = C;
-  return true;
-}
-
 bool wcs::parseInclusionName(const std::string &Name, InclusionPolicy &Out) {
   std::string L = toLowerAscii(Name);
   if (L == "nine")

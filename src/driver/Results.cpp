@@ -7,7 +7,7 @@
 
 #include "wcs/driver/Results.h"
 
-#include "JsonFieldHelpers.h"
+#include "wcs/support/JsonReader.h"
 
 #include <sstream>
 
@@ -253,20 +253,8 @@ Value wcs::toJson(const ResultsDoc &D) {
 }
 
 bool wcs::fromJson(const Value &V, ResultsDoc &Out, std::string *Err) {
-  std::string Schema;
-  int64_t Version;
-  if (!needString(V, "schema", Schema, Err) ||
-      !needInt(V, "schema_version", Version, Err))
+  if (!needSchema(V, ResultsSchemaName, ResultsSchemaVersion, Err))
     return false;
-  if (Schema != ResultsSchemaName)
-    return failMsg(Err, "not a " + std::string(ResultsSchemaName) +
-                            " file (schema '" + Schema + "')");
-  if (Version != ResultsSchemaVersion) {
-    std::ostringstream OS;
-    OS << "unsupported schema version " << Version << " (this reader speaks "
-       << ResultsSchemaVersion << ")";
-    return failMsg(Err, OS.str());
-  }
   const Value *Entries;
   if (!needString(V, "tool", Out.Tool, Err) ||
       !needString(V, "size", Out.SizeName, Err) ||

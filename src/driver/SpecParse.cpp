@@ -1,0 +1,212 @@
+//===- src/driver/SpecParse.cpp - Config/grid spec parsing ----------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/driver/SpecParse.h"
+
+#include "wcs/support/StringUtil.h"
+
+#include <cstdint>
+#include <sstream>
+
+using namespace wcs;
+
+namespace {
+
+bool failMsg(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+} // namespace
+
+bool wcs::parseCacheSpec(const std::string &Spec, CacheConfig &Out) {
+  std::istringstream IS(Spec);
+  std::string Bytes, Assoc, Pol, Extra;
+  if (!std::getline(IS, Bytes, ',') || !std::getline(IS, Assoc, ',') ||
+      !std::getline(IS, Pol, ',') || std::getline(IS, Extra, ','))
+    return false; // Exactly three fields; trailing junk is a typo.
+  CacheConfig C;
+  uint64_t AssocVal;
+  // Sizes cap at int64 max so a config always serializes as an exact
+  // JSON integer (see Value(uint64_t) in Json.h).
+  if (!parseUInt64(Bytes, C.SizeBytes, INT64_MAX) ||
+      !parseUInt64(Assoc, AssocVal, UINT32_MAX))
+    return false;
+  C.Assoc = static_cast<unsigned>(AssocVal);
+  C.BlockBytes = 64;
+  if (!parsePolicyName(Pol, C.Policy))
+    return false;
+  Out = C;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Grid syntax
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Expands one capacity token: a plain byte size or a geometric range
+/// "LO:HI:xF".
+bool appendSizes(const std::string &Tok, std::vector<uint64_t> &Sizes,
+                 std::string *Err) {
+  // Capacity points cap at int64 max so configs always serialize as
+  // exact JSON integers (see Value(uint64_t) in Json.h).
+  constexpr uint64_t MaxBytes = INT64_MAX;
+  if (Tok.find(':') == std::string::npos) {
+    uint64_t S;
+    if (!parseByteSize(Tok, S, MaxBytes))
+      return failMsg(Err, "bad capacity '" + Tok + "'");
+    Sizes.push_back(S);
+    return true;
+  }
+  std::istringstream IS(Tok);
+  std::string Lo, Hi, Step;
+  if (!std::getline(IS, Lo, ':') || !std::getline(IS, Hi, ':') ||
+      !std::getline(IS, Step, ':') || IS.rdbuf()->in_avail() != 0)
+    return failMsg(Err, "bad capacity range '" + Tok +
+                            "' (expected LO:HI:xF)");
+  uint64_t LoB, HiB, Factor;
+  if (!parseByteSize(Lo, LoB, MaxBytes) || !parseByteSize(Hi, HiB, MaxBytes))
+    return failMsg(Err, "bad capacity range '" + Tok + "'");
+  if (Step.size() < 2 || Step[0] != 'x' ||
+      !parseUInt64(Step.substr(1), Factor, 1024) || Factor < 2)
+    return failMsg(Err, "bad range step '" + Step +
+                            "' (expected xN with N >= 2)");
+  if (LoB == 0 || LoB > HiB)
+    return failMsg(Err, "empty capacity range '" + Tok + "'");
+  for (uint64_t S = LoB;; S *= Factor) {
+    Sizes.push_back(S);
+    if (S > HiB / Factor) // Next step would pass HI (or overflow).
+      break;
+  }
+  return true;
+}
+
+} // namespace
+
+bool wcs::parseSweepLevelGrid(const std::string &Spec, SweepLevelGrid &Out,
+                              std::string *Err) {
+  SweepLevelGrid G;
+  G.Assocs.clear();
+  G.Policies.clear();
+  bool BlockSet = false;
+
+  // Comma-separated tokens; "key=" opens a value list that bare tokens
+  // extend, so "assoc=4,8" parses as two way counts. Tokens before the
+  // first key are capacities.
+  std::string Key = "";
+  std::istringstream IS(Spec);
+  std::string Tok;
+  while (std::getline(IS, Tok, ',')) {
+    if (Tok.empty())
+      return failMsg(Err, "empty token in grid spec '" + Spec + "'");
+    size_t Eq = Tok.find('=');
+    std::string Val = Tok;
+    if (Eq != std::string::npos) {
+      Key = Tok.substr(0, Eq);
+      Val = Tok.substr(Eq + 1);
+      if (Key != "assoc" && Key != "policy" && Key != "block")
+        return failMsg(Err, "unknown grid key '" + Key +
+                                "' (expected assoc, policy or block)");
+    }
+    if (Key.empty()) {
+      if (!appendSizes(Val, G.SizesBytes, Err))
+        return false;
+    } else if (Key == "assoc") {
+      // 0 is the internal fully-associative sentinel; users must spell
+      // it "full" (a bare 0 is a typo everywhere else in the CLI).
+      uint64_t A = 0;
+      if (toLowerAscii(Val) != "full" &&
+          (!parseUInt64(Val, A, 4096) || A == 0))
+        return failMsg(Err, "bad associativity '" + Val +
+                                "' (expected a way count or 'full')");
+      G.Assocs.push_back(static_cast<unsigned>(A));
+    } else if (Key == "policy") {
+      PolicyKind P;
+      if (!parsePolicyName(Val, P))
+        return failMsg(Err, "unknown policy '" + Val + "'");
+      G.Policies.push_back(P);
+    } else { // block
+      if (BlockSet)
+        return failMsg(Err, "block takes a single value");
+      uint64_t B;
+      if (!parseByteSize(Val, B, 1u << 20))
+        return failMsg(Err, "bad block size '" + Val + "'");
+      G.BlockBytes = static_cast<unsigned>(B);
+      BlockSet = true;
+    }
+  }
+  if (G.SizesBytes.empty())
+    return failMsg(Err, "grid spec '" + Spec + "' names no capacity");
+  if (G.Assocs.empty())
+    G.Assocs.push_back(8);
+  if (G.Policies.empty())
+    G.Policies.push_back(PolicyKind::Lru);
+  Out = std::move(G);
+  return true;
+}
+
+namespace {
+
+/// Expands one level grid into cache configs (assoc 0 = fully
+/// associative, resolved per capacity).
+bool expandLevel(const SweepLevelGrid &G, std::vector<CacheConfig> &Out,
+                 std::string *Err) {
+  for (uint64_t Size : G.SizesBytes)
+    for (unsigned A : G.Assocs)
+      for (PolicyKind P : G.Policies) {
+        CacheConfig C;
+        C.SizeBytes = Size;
+        C.BlockBytes = G.BlockBytes;
+        if (A == 0) {
+          uint64_t Lines = Size / G.BlockBytes;
+          if (Lines == 0 || Lines > 4096)
+            return failMsg(Err, "fully-associative point of " +
+                                    std::to_string(Size) +
+                                    " bytes needs " + std::to_string(Lines) +
+                                    " ways (supported: 1 to 4096)");
+          C.Assoc = static_cast<unsigned>(Lines);
+        } else {
+          C.Assoc = A;
+        }
+        C.Policy = P;
+        std::string E = C.validate();
+        if (!E.empty())
+          return failMsg(Err, "invalid sweep point " + C.str() + ": " + E);
+        Out.push_back(C);
+      }
+  return true;
+}
+
+} // namespace
+
+bool wcs::expandSweepGrid(const SweepLevelGrid &L1, const SweepLevelGrid *L2,
+                          InclusionPolicy Inclusion,
+                          std::vector<HierarchyConfig> &Out,
+                          std::string *Err) {
+  std::vector<CacheConfig> C1, C2;
+  if (!expandLevel(L1, C1, Err))
+    return false;
+  if (L2 && !expandLevel(*L2, C2, Err))
+    return false;
+  for (const CacheConfig &A : C1) {
+    if (!L2) {
+      Out.push_back(HierarchyConfig::singleLevel(A));
+      continue;
+    }
+    for (const CacheConfig &B : C2) {
+      HierarchyConfig H = HierarchyConfig::twoLevel(A, B, Inclusion);
+      std::string E = H.validate();
+      if (!E.empty())
+        return failMsg(Err, "invalid sweep point " + H.str() + ": " + E);
+      Out.push_back(std::move(H));
+    }
+  }
+  return true;
+}

@@ -1,0 +1,229 @@
+//===- src/serve/Protocol.cpp - wcs-serve wire protocol -------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/serve/Protocol.h"
+
+#include "wcs/support/JsonReader.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace wcs;
+using namespace wcs::jsonfield;
+using json::Value;
+
+Value wcs::toJson(const ProgressEvent &E) {
+  Value V = Value::object();
+  V.set("schema", ProgressSchemaName);
+  V.set("schema_version", ServeProtocolVersion);
+  V.set("point", static_cast<uint64_t>(E.Point));
+  V.set("total", static_cast<uint64_t>(E.Total));
+  V.set("cache", E.Cache);
+  V.set("method", sweepMethodName(E.Method));
+  V.set("ok", E.Ok);
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, ProgressEvent &Out, std::string *Err) {
+  if (!needSchema(V, ProgressSchemaName, ServeProtocolVersion, Err))
+    return false;
+  ProgressEvent E;
+  uint64_t Point, Total;
+  std::string Method;
+  if (!needUInt(V, "point", Point, Err) ||
+      !needUInt(V, "total", Total, Err) ||
+      !needString(V, "cache", E.Cache, Err) ||
+      !needString(V, "method", Method, Err) ||
+      !needBool(V, "ok", E.Ok, Err))
+    return false;
+  if (!parseSweepMethodName(Method, E.Method))
+    return failMsg(Err, "unknown method '" + Method + "'");
+  E.Point = static_cast<size_t>(Point);
+  E.Total = static_cast<size_t>(Total);
+  Out = std::move(E);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Socket plumbing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool fillSockAddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string *Err) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    failMsg(Err, "socket path '" + Path + "' is empty or longer than " +
+                     std::to_string(sizeof(Addr.sun_path) - 1) + " bytes");
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+std::string sysErr(const char *What, const std::string &Path) {
+  return std::string(What) + " " + Path + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+int wcs::listenUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!fillSockAddr(Path, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    failMsg(Err, sysErr("socket", Path));
+    return -1;
+  }
+  ::unlink(Path.c_str()); // A stale socket file blocks bind.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 16) < 0) {
+    failMsg(Err, sysErr("bind/listen", Path));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int wcs::connectUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!fillSockAddr(Path, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    failMsg(Err, sysErr("socket", Path));
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    failMsg(Err, sysErr("connect", Path));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool wcs::sendLine(int Fd, const std::string &Line, std::string *Err) {
+  std::string Framed = Line + '\n';
+  size_t Sent = 0;
+  while (Sent < Framed.size()) {
+    ssize_t N = ::write(Fd, Framed.data() + Sent, Framed.size() - Sent);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return failMsg(Err, std::string("send: ") + std::strerror(errno));
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool LineReader::readLine(std::string &Out, std::string *Err) {
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      Out = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return failMsg(Err, std::string("recv: ") + std::strerror(errno));
+    }
+    if (N == 0)
+      return false; // Clean EOF; Err untouched.
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+void wcs::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Client side
+//===----------------------------------------------------------------------===//
+
+bool wcs::submitSweepRequest(
+    const std::string &SocketPath, const SweepRequest &Req,
+    SweepResponse &Response,
+    const std::function<void(const ProgressEvent &)> &OnProgress,
+    std::string *Err) {
+  int Fd = connectUnix(SocketPath, Err);
+  if (Fd < 0)
+    return false;
+  if (!sendLine(Fd, toJson(Req).dump(false), Err)) {
+    closeFd(Fd);
+    return false;
+  }
+  LineReader Reader(Fd);
+  std::string Line;
+  bool GotResponse = false;
+  while (Reader.readLine(Line, Err)) {
+    Value V;
+    std::string ParseErr;
+    if (!json::parse(Line, V, &ParseErr)) {
+      failMsg(Err, "malformed line from daemon: " + ParseErr);
+      closeFd(Fd);
+      return false;
+    }
+    std::string Schema;
+    if (!needString(V, "schema", Schema, Err)) {
+      closeFd(Fd);
+      return false;
+    }
+    if (Schema == ProgressSchemaName) {
+      ProgressEvent E;
+      if (fromJson(V, E, nullptr) && OnProgress)
+        OnProgress(E);
+      continue;
+    }
+    if (!fromJson(V, Response, Err)) {
+      closeFd(Fd);
+      return false;
+    }
+    GotResponse = true;
+    break;
+  }
+  closeFd(Fd);
+  if (!GotResponse)
+    return failMsg(Err, Err && !Err->empty()
+                            ? *Err
+                            : "daemon closed without a response");
+  return true;
+}
+
+bool wcs::requestShutdown(const std::string &SocketPath, std::string *Err) {
+  int Fd = connectUnix(SocketPath, Err);
+  if (Fd < 0)
+    return false;
+  Value V = Value::object();
+  V.set("schema", ControlSchemaName);
+  V.set("schema_version", ServeProtocolVersion);
+  V.set("cmd", "shutdown");
+  if (!sendLine(Fd, V.dump(false), Err)) {
+    closeFd(Fd);
+    return false;
+  }
+  LineReader Reader(Fd);
+  std::string Line;
+  bool Acked = Reader.readLine(Line, Err);
+  closeFd(Fd);
+  if (!Acked)
+    return failMsg(Err, "daemon closed without acking shutdown");
+  return true;
+}

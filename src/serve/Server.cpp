@@ -1,0 +1,194 @@
+//===- src/serve/Server.cpp - The wcs-serve daemon ------------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/serve/Server.h"
+
+#include "wcs/support/JsonReader.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace wcs;
+using json::Value;
+
+SweepResponse wcs::serveSweepRequest(
+    const SweepRequest &Req, ResultStore &Store, unsigned Threads,
+    const std::function<void(const ProgressEvent &)> &OnProgress) {
+  SweepResponse Resp;
+  Resp.RequestHash = requestHash(Req);
+
+  PreparedSweep Prep;
+  std::string Err;
+  if (!prepareSweep(Req, Prep, &Err)) {
+    Resp.Error = Err;
+    Resp.StoreEntries = Store.numEntries();
+    return Resp;
+  }
+
+  // Partition the expanded grid by store state. Hits come back
+  // verbatim -- the stored counters ARE the fresh-simulation counters,
+  // property-tested bit-identical -- under method "store" so the
+  // provenance of every answer stays honest.
+  size_t Total = Prep.Configs.size();
+  std::vector<SweepPoint> Points(Total);
+  std::vector<size_t> MissIdx;
+  std::vector<std::string> Keys(Total);
+  for (size_t I = 0; I < Total; ++I) {
+    Keys[I] = sweepPointKey(Req, Prep.Configs[I]);
+    SweepPoint Hit;
+    if (Store.lookup(Keys[I], Hit)) {
+      Hit.Method = SweepMethod::Store;
+      Points[I] = std::move(Hit);
+      ++Resp.StoreHits;
+      if (OnProgress)
+        OnProgress({I, Total, Prep.Configs[I].str(),
+                    SweepMethod::Store, Points[I].Ok});
+    } else {
+      MissIdx.push_back(I);
+    }
+  }
+  Resp.StoreMisses = MissIdx.size();
+
+  // The misses run as ONE sub-sweep, so they still share passes and
+  // streams among themselves exactly as a CLI sweep would.
+  SweepReport Merged;
+  Merged.Threads = Threads == 0 ? 1 : Threads;
+  if (!MissIdx.empty()) {
+    std::vector<HierarchyConfig> MissConfigs;
+    MissConfigs.reserve(MissIdx.size());
+    for (size_t I : MissIdx)
+      MissConfigs.push_back(Prep.Configs[I]);
+    SweepOptions SO = Req.Options;
+    SO.Threads = Threads;
+    Merged = runSweep(Prep.Program, MissConfigs, SO);
+    for (size_t J = 0; J < MissIdx.size(); ++J) {
+      size_t I = MissIdx[J];
+      Points[I] = Merged.Points[J];
+      if (Points[I].Ok)
+        Store.insert(Keys[I], Points[I], nullptr);
+      if (OnProgress)
+        OnProgress({I, Total, Prep.Configs[I].str(), Points[I].Method,
+                    Points[I].Ok});
+    }
+  }
+  Merged.Points = std::move(Points);
+
+  Resp.Ok = true;
+  Resp.StoreEntries = Store.numEntries();
+  Resp.Sweep = makeSweepDoc("wcs-serve", Req.programLabel(),
+                            Req.sizeLabel(), Merged);
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// The accept loop
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Serves one accepted connection; returns false when the client asked
+/// for shutdown.
+bool serveConnection(int Fd, ResultStore &Store, unsigned Threads) {
+  LineReader Reader(Fd);
+  std::string Line, Err;
+  if (!Reader.readLine(Line, &Err)) {
+    if (!Err.empty())
+      std::fprintf(stderr, "wcs-serve: %s\n", Err.c_str());
+    return true; // Client went away; keep serving.
+  }
+
+  Value V;
+  std::string Schema;
+  SweepResponse Resp;
+  if (!json::parse(Line, V, &Err) ||
+      !jsonfield::needString(V, "schema", Schema, &Err)) {
+    Resp.Error = "malformed request: " + Err;
+    sendLine(Fd, toJson(Resp).dump(false), nullptr);
+    return true;
+  }
+
+  if (Schema == ControlSchemaName) {
+    std::string Cmd;
+    Value Ack = Value::object();
+    Ack.set("schema", ControlSchemaName);
+    Ack.set("schema_version", ServeProtocolVersion);
+    bool Shutdown = jsonfield::needString(V, "cmd", Cmd, nullptr) &&
+                    Cmd == "shutdown";
+    Ack.set("ok", Shutdown);
+    sendLine(Fd, Ack.dump(false), nullptr);
+    return !Shutdown;
+  }
+
+  SweepRequest Req;
+  if (!fromJson(V, Req, &Err)) {
+    Resp.Error = Err;
+    sendLine(Fd, toJson(Resp).dump(false), nullptr);
+    return true;
+  }
+
+  Resp = serveSweepRequest(Req, Store, Threads,
+                           [Fd](const ProgressEvent &E) {
+                             sendLine(Fd, toJson(E).dump(false), nullptr);
+                           });
+  sendLine(Fd, toJson(Resp).dump(false), nullptr);
+  std::fprintf(stderr,
+               "wcs-serve: %s %s: %llu hits, %llu misses, store %llu "
+               "entries\n",
+               Req.programLabel().c_str(), Resp.Ok ? "ok" : "FAILED",
+               static_cast<unsigned long long>(Resp.StoreHits),
+               static_cast<unsigned long long>(Resp.StoreMisses),
+               static_cast<unsigned long long>(Resp.StoreEntries));
+  return true;
+}
+
+} // namespace
+
+bool wcs::runServer(const ServerOptions &Opts,
+                    const std::function<void()> &OnReady,
+                    std::string *Err) {
+  ResultStore Store;
+  if (!Store.open(Opts.StorePath, Err))
+    return false;
+  if (Store.recoveredBytes() > 0)
+    std::fprintf(stderr,
+                 "wcs-serve: recovered torn tail (%llu bytes dropped)\n",
+                 static_cast<unsigned long long>(Store.recoveredBytes()));
+  int Listen = listenUnix(Opts.SocketPath, Err);
+  if (Listen < 0)
+    return false;
+  std::fprintf(stderr, "wcs-serve: listening on %s (%zu stored entries)\n",
+               Opts.SocketPath.c_str(), Store.numEntries());
+  if (OnReady)
+    OnReady();
+
+  for (;;) {
+    int Fd = ::accept(Listen, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = "accept failed";
+      closeFd(Listen);
+      ::unlink(Opts.SocketPath.c_str());
+      return false;
+    }
+    bool KeepServing = serveConnection(Fd, Store, Opts.Threads);
+    closeFd(Fd);
+    if (!KeepServing)
+      break;
+  }
+  closeFd(Listen);
+  ::unlink(Opts.SocketPath.c_str());
+  std::fprintf(stderr, "wcs-serve: shut down (%llu hits / %llu misses "
+                       "served)\n",
+               static_cast<unsigned long long>(Store.hits()),
+               static_cast<unsigned long long>(Store.misses()));
+  return true;
+}

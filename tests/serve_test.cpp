@@ -1,0 +1,296 @@
+//===- tests/serve_test.cpp - wcs-serve serving-core tests ----------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The wcs-serve semantic surface, driven two ways: serveSweepRequest()
+// directly (store hit/miss partitioning, method "store" relabeling,
+// bit-identical counters, progress events, malformed-request handling)
+// and end-to-end through the Unix-domain socket (runServer on a thread,
+// the submitSweepRequest client, control shutdown). Both paths must
+// agree bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/serve/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace wcs;
+
+namespace {
+
+const char *TestSource = R"(
+  int A[512]; int B[512];
+  for (int i = 1; i < 511; i++)
+    B[i] = A[i-1] + A[i+1];
+)";
+
+SweepRequest smallRequest() {
+  SweepRequest R;
+  R.Source = TestSource;
+  R.SourceName = "stencil.wcs";
+  R.L1.SizesBytes = {1024, 2048};
+  R.L1.Assocs = {2};
+  R.L1.Policies = {PolicyKind::Lru, PolicyKind::Fifo};
+  return R;
+}
+
+/// Per-point JSON with the timing zeroed: counters and provenance only.
+std::string counters(SweepPoint P) {
+  P.Stats.Seconds = 0.0;
+  return toJson(P).dump(false);
+}
+
+std::string tempPath(const char *Tag, const char *Ext) {
+  std::ostringstream OS;
+  OS << ::testing::TempDir() << "wcs-serve-" << Tag << "-" << ::getpid()
+     << Ext;
+  return OS.str();
+}
+
+TEST(Serve, MissesThenHitsBitIdentical) {
+  ResultStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open("", &Err)) << Err;
+  SweepRequest Req = smallRequest();
+
+  // Cold store: every point is a miss, simulated and inserted.
+  SweepResponse First = serveSweepRequest(Req, Store, 2, nullptr);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(First.RequestHash, requestHash(Req));
+  EXPECT_EQ(First.StoreHits, 0u);
+  EXPECT_EQ(First.StoreMisses, 4u);
+  EXPECT_EQ(First.StoreEntries, 4u);
+  ASSERT_EQ(First.Sweep.Points.size(), 4u);
+  for (const SweepPoint &P : First.Sweep.Points) {
+    ASSERT_TRUE(P.Ok) << P.Error;
+    EXPECT_NE(P.Method, SweepMethod::Store); // Fresh results keep their
+                                             // computing method.
+  }
+
+  // Resubmission: every point comes from the store, zero simulation.
+  SweepResponse Second = serveSweepRequest(Req, Store, 2, nullptr);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_EQ(Second.StoreHits, 4u);
+  EXPECT_EQ(Second.StoreMisses, 0u);
+  ASSERT_EQ(Second.Sweep.Points.size(), 4u);
+  for (size_t I = 0; I < 4; ++I) {
+    // Honest provenance: the point is re-labeled "store"...
+    EXPECT_EQ(Second.Sweep.Points[I].Method, SweepMethod::Store);
+    // ...but everything else -- counters, backend, even the original
+    // timing measurement -- is the stored point verbatim.
+    SweepPoint Norm = Second.Sweep.Points[I];
+    Norm.Method = First.Sweep.Points[I].Method;
+    EXPECT_EQ(toJson(Norm).dump(false),
+              toJson(First.Sweep.Points[I]).dump(false))
+        << "point " << I;
+  }
+}
+
+TEST(Serve, OverlappingGridsShareStoredPoints) {
+  ResultStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open("", &Err)) << Err;
+
+  SweepRequest Narrow = smallRequest();
+  Narrow.L1.SizesBytes = {1024};
+  SweepResponse First = serveSweepRequest(Narrow, Store, 2, nullptr);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(First.StoreMisses, 2u);
+
+  // A DIFFERENT request whose grid overlaps: the shared capacity is
+  // served from the store, only the new one simulates.
+  SweepRequest Wide = smallRequest();
+  Wide.L1.SizesBytes = {1024, 2048};
+  SweepResponse Second = serveSweepRequest(Wide, Store, 2, nullptr);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_NE(Second.RequestHash, First.RequestHash);
+  EXPECT_EQ(Second.StoreHits, 2u);
+  EXPECT_EQ(Second.StoreMisses, 2u);
+  EXPECT_EQ(Second.StoreEntries, 4u);
+  // Grid expansion orders sizes outermost: points 0-1 are the 1024-byte
+  // capacities served from the store.
+  EXPECT_EQ(Second.Sweep.Points[0].Method, SweepMethod::Store);
+  EXPECT_EQ(Second.Sweep.Points[1].Method, SweepMethod::Store);
+  EXPECT_NE(Second.Sweep.Points[2].Method, SweepMethod::Store);
+  EXPECT_NE(Second.Sweep.Points[3].Method, SweepMethod::Store);
+}
+
+TEST(Serve, ProgressCoversEveryPointInInputOrder) {
+  ResultStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open("", &Err)) << Err;
+  SweepRequest Req = smallRequest();
+
+  // Warm half the store so both hit and miss progress paths fire.
+  SweepRequest Narrow = Req;
+  Narrow.L1.SizesBytes = {1024};
+  ASSERT_TRUE(serveSweepRequest(Narrow, Store, 2, nullptr).Ok);
+
+  std::vector<ProgressEvent> Events;
+  SweepResponse Resp = serveSweepRequest(
+      Req, Store, 2, [&](const ProgressEvent &E) { Events.push_back(E); });
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  ASSERT_EQ(Events.size(), 4u);
+  size_t Hits = 0;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    EXPECT_EQ(Events[I].Point, I); // One event per point, input order.
+    EXPECT_EQ(Events[I].Total, 4u);
+    EXPECT_TRUE(Events[I].Ok);
+    EXPECT_EQ(Events[I].Cache, Resp.Sweep.Points[I].Cache.str());
+    Hits += Events[I].Method == SweepMethod::Store ? 1 : 0;
+  }
+  EXPECT_EQ(Hits, 2u);
+}
+
+TEST(Serve, MalformedRequestIsAnOkFalseResponse) {
+  ResultStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open("", &Err)) << Err;
+  SweepRequest Bad = smallRequest();
+  Bad.Source = "for (;;) nonsense";
+  SweepResponse Resp = serveSweepRequest(Bad, Store, 2, nullptr);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_FALSE(Resp.Error.empty());
+  EXPECT_EQ(Resp.RequestHash, requestHash(Bad)); // Still attributed.
+  EXPECT_EQ(Store.numEntries(), 0u); // Nothing was stored.
+}
+
+TEST(Serve, FailedPointsAreNeverStored) {
+  ResultStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open("", &Err)) << Err;
+  // A grid that expands fine but cannot all simulate does not poison
+  // the store; here every point is fine, so instead pin the contract
+  // from the other side: only Ok points land in the store.
+  SweepRequest Req = smallRequest();
+  SweepResponse Resp = serveSweepRequest(Req, Store, 2, nullptr);
+  ASSERT_TRUE(Resp.Ok);
+  EXPECT_EQ(Store.numEntries(),
+            static_cast<size_t>(Resp.StoreMisses)); // All Ok, all stored.
+}
+
+//===----------------------------------------------------------------------===//
+// Through the socket
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSocket, EndToEndMatchesDirectServing) {
+  std::string Socket = tempPath("sock", ".sock");
+  std::string StorePath = tempPath("store", ".jsonl");
+  std::remove(StorePath.c_str());
+
+  ServerOptions SO;
+  SO.SocketPath = Socket;
+  SO.StorePath = StorePath;
+  SO.Threads = 2;
+
+  std::string ServerErr;
+  std::mutex ReadyMu;
+  std::condition_variable ReadyCv;
+  bool Ready = false;
+  std::thread Server([&] {
+    bool Ok = runServer(
+        SO,
+        [&] {
+          std::lock_guard<std::mutex> L(ReadyMu);
+          Ready = true;
+          ReadyCv.notify_one();
+        },
+        &ServerErr);
+    if (!Ok) {
+      // Unblock the main thread even on setup failure.
+      std::lock_guard<std::mutex> L(ReadyMu);
+      Ready = true;
+      ReadyCv.notify_one();
+    }
+  });
+  {
+    std::unique_lock<std::mutex> L(ReadyMu);
+    ReadyCv.wait(L, [&] { return Ready; });
+  }
+  ASSERT_EQ(ServerErr, "");
+
+  SweepRequest Req = smallRequest();
+  std::string Err;
+
+  // First submission: all misses.
+  SweepResponse First;
+  std::vector<ProgressEvent> Events;
+  ASSERT_TRUE(submitSweepRequest(
+      Socket, Req, First,
+      [&](const ProgressEvent &E) { Events.push_back(E); }, &Err))
+      << Err;
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(First.StoreMisses, 4u);
+  EXPECT_EQ(Events.size(), 4u); // Progress streamed over the wire too.
+
+  // Second submission: answered from the store, bit-identical counters.
+  SweepResponse Second;
+  ASSERT_TRUE(submitSweepRequest(Socket, Req, Second, nullptr, &Err)) << Err;
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_EQ(Second.StoreHits, 4u);
+  EXPECT_EQ(Second.StoreMisses, 0u);
+  ASSERT_EQ(Second.Sweep.Points.size(), 4u);
+  for (size_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(Second.Sweep.Points[I].Method, SweepMethod::Store);
+    SweepPoint Norm = Second.Sweep.Points[I];
+    Norm.Method = First.Sweep.Points[I].Method;
+    EXPECT_EQ(toJson(Norm).dump(false),
+              toJson(First.Sweep.Points[I]).dump(false));
+  }
+
+  // The socket path and the in-process path are the same computation.
+  ResultStore Fresh;
+  ASSERT_TRUE(Fresh.open("", &Err)) << Err;
+  SweepResponse Direct = serveSweepRequest(Req, Fresh, 2, nullptr);
+  ASSERT_TRUE(Direct.Ok) << Direct.Error;
+  ASSERT_EQ(Direct.Sweep.Points.size(), First.Sweep.Points.size());
+  for (size_t I = 0; I < Direct.Sweep.Points.size(); ++I)
+    EXPECT_EQ(counters(Direct.Sweep.Points[I]),
+              counters(First.Sweep.Points[I]))
+        << "point " << I;
+
+  // A malformed line gets a refusal, not a hang or a dropped connection
+  // (transport stays healthy for the shutdown below).
+  SweepRequest Bad = Req;
+  Bad.Source = "for (;;) nonsense";
+  SweepResponse BadResp;
+  ASSERT_TRUE(submitSweepRequest(Socket, Bad, BadResp, nullptr, &Err))
+      << Err;
+  EXPECT_FALSE(BadResp.Ok);
+  EXPECT_FALSE(BadResp.Error.empty());
+
+  // Clean shutdown: acknowledged, thread joins, socket file removed.
+  ASSERT_TRUE(requestShutdown(Socket, &Err)) << Err;
+  Server.join();
+  EXPECT_NE(::access(Socket.c_str(), F_OK), 0);
+
+  // The store log persists past the daemon: a fresh ResultStore opens
+  // it clean with all four points.
+  ResultStore Reopened;
+  ASSERT_TRUE(Reopened.open(StorePath, &Err)) << Err;
+  EXPECT_EQ(Reopened.recoveredBytes(), 0u);
+  EXPECT_EQ(Reopened.numEntries(), 4u);
+  std::remove(StorePath.c_str());
+}
+
+TEST(ServeSocket, ClientReportsConnectFailure) {
+  std::string Err;
+  SweepResponse Resp;
+  EXPECT_FALSE(submitSweepRequest(tempPath("nosock", ".sock"),
+                                  smallRequest(), Resp, nullptr, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+//===- tests/spec_parse_test.cpp - Spec/grid parsing tests ----------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Direct unit tests for the consolidated parsing authority
+// (driver/SpecParse): the "BYTES,ASSOC,POLICY" cache spec, the sweep
+// grid syntax, and grid-to-hierarchy expansion. Every user-facing
+// spelling both CLIs and the wcs-serve daemon accept goes through these
+// entry points, so this is where their meaning is pinned.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/driver/SpecParse.h"
+
+#include "gtest/gtest.h"
+
+using namespace wcs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// parseCacheSpec
+//===----------------------------------------------------------------------===//
+
+TEST(CacheSpec, ParsesThreeFields) {
+  CacheConfig C;
+  ASSERT_TRUE(parseCacheSpec("4096,8,plru", C));
+  EXPECT_EQ(C.SizeBytes, 4096u);
+  EXPECT_EQ(C.Assoc, 8u);
+  EXPECT_EQ(C.BlockBytes, 64u);
+  EXPECT_EQ(C.Policy, PolicyKind::Plru);
+  EXPECT_EQ(C.WriteAlloc, WriteAllocate::Yes);
+}
+
+TEST(CacheSpec, PolicyNamesAreCaseInsensitive) {
+  CacheConfig C;
+  ASSERT_TRUE(parseCacheSpec("32768,8,LRU", C));
+  EXPECT_EQ(C.Policy, PolicyKind::Lru);
+  ASSERT_TRUE(parseCacheSpec("32768,8,QLRU", C));
+  EXPECT_EQ(C.Policy, PolicyKind::QuadAgeLru);
+}
+
+TEST(CacheSpec, RejectsMalformedSpecs) {
+  CacheConfig C;
+  C.SizeBytes = 12345; // Sentinel: failures must leave Out untouched.
+  EXPECT_FALSE(parseCacheSpec("", C));
+  EXPECT_FALSE(parseCacheSpec("4096,8", C));         // Too few fields.
+  EXPECT_FALSE(parseCacheSpec("4096,8,lru,x", C));   // Trailing junk.
+  EXPECT_FALSE(parseCacheSpec("4096,8,mru", C));     // Unknown policy.
+  EXPECT_FALSE(parseCacheSpec("4K,8,lru", C));       // No suffixes here.
+  EXPECT_FALSE(parseCacheSpec("-4096,8,lru", C));    // Negative size.
+  EXPECT_FALSE(parseCacheSpec("4096,4294967296,lru", C)); // Assoc > u32.
+  EXPECT_EQ(C.SizeBytes, 12345u);
+}
+
+//===----------------------------------------------------------------------===//
+// parseSweepLevelGrid
+//===----------------------------------------------------------------------===//
+
+TEST(SweepGrid, SingleCapacityGetsDefaults) {
+  SweepLevelGrid G;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid("8K", G, &Err)) << Err;
+  EXPECT_EQ(G.SizesBytes, std::vector<uint64_t>({8192}));
+  EXPECT_EQ(G.Assocs, std::vector<unsigned>({8}));
+  EXPECT_EQ(G.Policies, std::vector<PolicyKind>({PolicyKind::Lru}));
+  EXPECT_EQ(G.BlockBytes, 64u);
+}
+
+TEST(SweepGrid, GeometricRangeIsInclusive) {
+  SweepLevelGrid G;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid("8K:64K:x2", G, &Err)) << Err;
+  EXPECT_EQ(G.SizesBytes,
+            std::vector<uint64_t>({8192, 16384, 32768, 65536}));
+}
+
+TEST(SweepGrid, RangeStopsBelowNonAlignedHi) {
+  SweepLevelGrid G;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid("8K:100K:x4", G, &Err)) << Err;
+  EXPECT_EQ(G.SizesBytes, std::vector<uint64_t>({8192, 32768}));
+}
+
+TEST(SweepGrid, KeyOpensValueListThatBareTokensExtend) {
+  SweepLevelGrid G;
+  std::string Err;
+  ASSERT_TRUE(
+      parseSweepLevelGrid("4K,8K,assoc=4,8,full,policy=lru,plru,block=32", G,
+                          &Err))
+      << Err;
+  EXPECT_EQ(G.SizesBytes, std::vector<uint64_t>({4096, 8192}));
+  // "full" parses to the fully-associative sentinel 0.
+  EXPECT_EQ(G.Assocs, std::vector<unsigned>({4, 8, 0}));
+  EXPECT_EQ(G.Policies,
+            std::vector<PolicyKind>({PolicyKind::Lru, PolicyKind::Plru}));
+  EXPECT_EQ(G.BlockBytes, 32u);
+}
+
+TEST(SweepGrid, RejectsMalformedSpecs) {
+  SweepLevelGrid G;
+  std::string Err;
+  EXPECT_FALSE(parseSweepLevelGrid("", G, &Err));
+  EXPECT_FALSE(parseSweepLevelGrid("assoc=8", G, &Err)); // No capacity.
+  EXPECT_FALSE(parseSweepLevelGrid("8K,,16K", G, &Err)); // Empty token.
+  EXPECT_FALSE(parseSweepLevelGrid("8K,ways=4", G, &Err)); // Unknown key.
+  EXPECT_FALSE(parseSweepLevelGrid("8K,assoc=0", G, &Err)); // Spell "full".
+  EXPECT_FALSE(parseSweepLevelGrid("8K,policy=mru", G, &Err));
+  EXPECT_FALSE(parseSweepLevelGrid("8K,block=32,block=64", G, &Err));
+  EXPECT_FALSE(parseSweepLevelGrid("64K:8K:x2", G, &Err)); // Empty range.
+  EXPECT_FALSE(parseSweepLevelGrid("8K:64K:x1", G, &Err)); // Factor < 2.
+  EXPECT_FALSE(parseSweepLevelGrid("8K:64K:2", G, &Err));  // Missing 'x'.
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// expandSweepGrid
+//===----------------------------------------------------------------------===//
+
+TEST(SweepGridExpand, CrossProductSingleLevel) {
+  SweepLevelGrid G;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid("4K,8K,assoc=4,8,policy=lru,fifo", G, &Err));
+  std::vector<HierarchyConfig> Configs;
+  ASSERT_TRUE(expandSweepGrid(G, nullptr,
+                              InclusionPolicy::NonInclusiveNonExclusive,
+                              Configs, &Err))
+      << Err;
+  // 2 sizes x 2 assocs x 2 policies, policy fastest-varying.
+  ASSERT_EQ(Configs.size(), 8u);
+  for (const HierarchyConfig &H : Configs)
+    EXPECT_EQ(H.numLevels(), 1u);
+  EXPECT_EQ(Configs[0].Levels[0].SizeBytes, 4096u);
+  EXPECT_EQ(Configs[0].Levels[0].Policy, PolicyKind::Lru);
+  EXPECT_EQ(Configs[1].Levels[0].Policy, PolicyKind::Fifo);
+  EXPECT_EQ(Configs[2].Levels[0].Assoc, 8u);
+  EXPECT_EQ(Configs[4].Levels[0].SizeBytes, 8192u);
+}
+
+TEST(SweepGridExpand, FullAssocResolvesPerCapacity) {
+  SweepLevelGrid G;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid("4K,8K,assoc=full", G, &Err));
+  std::vector<HierarchyConfig> Configs;
+  ASSERT_TRUE(expandSweepGrid(G, nullptr,
+                              InclusionPolicy::NonInclusiveNonExclusive,
+                              Configs, &Err))
+      << Err;
+  ASSERT_EQ(Configs.size(), 2u);
+  EXPECT_EQ(Configs[0].Levels[0].Assoc, 4096u / 64);
+  EXPECT_EQ(Configs[1].Levels[0].Assoc, 8192u / 64);
+  EXPECT_TRUE(Configs[0].Levels[0].isFullyAssociative());
+  EXPECT_TRUE(Configs[1].Levels[0].isFullyAssociative());
+}
+
+TEST(SweepGridExpand, TwoLevelCarriesInclusion) {
+  SweepLevelGrid L1, L2;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid("4K", L1, &Err));
+  ASSERT_TRUE(parseSweepLevelGrid("32K,64K,assoc=16", L2, &Err));
+  std::vector<HierarchyConfig> Configs;
+  ASSERT_TRUE(expandSweepGrid(L1, &L2, InclusionPolicy::Inclusive, Configs,
+                              &Err))
+      << Err;
+  ASSERT_EQ(Configs.size(), 2u);
+  for (const HierarchyConfig &H : Configs) {
+    EXPECT_EQ(H.numLevels(), 2u);
+    EXPECT_EQ(H.Inclusion, InclusionPolicy::Inclusive);
+    EXPECT_TRUE(H.validate().empty());
+  }
+}
+
+TEST(SweepGridExpand, InvalidPointFailsWithDiagnostic) {
+  SweepLevelGrid G;
+  std::string Err;
+  // PLRU needs power-of-two associativity; 3 ways must fail expansion.
+  ASSERT_TRUE(parseSweepLevelGrid("6K,assoc=3,policy=plru", G, &Err));
+  std::vector<HierarchyConfig> Configs;
+  EXPECT_FALSE(expandSweepGrid(G, nullptr,
+                               InclusionPolicy::NonInclusiveNonExclusive,
+                               Configs, &Err));
+  EXPECT_NE(Err.find("PLRU"), std::string::npos) << Err;
+}
+
+TEST(SweepGridExpand, OversizedFullAssocFails) {
+  SweepLevelGrid G;
+  std::string Err;
+  // 1 MiB / 64 B = 16384 lines > the 4096-way cap.
+  ASSERT_TRUE(parseSweepLevelGrid("1M,assoc=full", G, &Err));
+  std::vector<HierarchyConfig> Configs;
+  EXPECT_FALSE(expandSweepGrid(G, nullptr,
+                               InclusionPolicy::NonInclusiveNonExclusive,
+                               Configs, &Err));
+  EXPECT_NE(Err.find("ways"), std::string::npos) << Err;
+}
+
+TEST(SweepGrid, RoundTripEquality) {
+  SweepLevelGrid A, B;
+  std::string Err;
+  ASSERT_TRUE(parseSweepLevelGrid("8K:64K:x2,assoc=4,8", A, &Err));
+  ASSERT_TRUE(parseSweepLevelGrid("8K,16K,32K,64K,assoc=4,8", B, &Err));
+  EXPECT_EQ(A, B); // Same grid, different spellings.
+  B.BlockBytes = 32;
+  EXPECT_FALSE(A == B);
+}
+
+} // namespace

@@ -13,11 +13,14 @@
 // (written by wcs-sim --sweep-json) as capacity-axis tables: one table
 // per configuration series, rows ordered by the capacity of the swept
 // level, misses per level per row -- the misses-vs-capacity view of the
-// paper's Fig. 9 rather than one flat row per grid point.
+// paper's Fig. 9 rather than one flat row per grid point. A wcs-response
+// document (from wcs-serve --client) renders the same way, prefixed by
+// its serving provenance: request hash and the store hit/miss split.
 //
 //   wcs-report baseline.json current.json
 //   wcs-report bench/baseline.json BENCH_results.json --check --threshold 2
 //   wcs-report sweep.json
+//   wcs-report response.json
 //
 // Exit status: 0 clean; 1 when --check trips; 2 on usage or I/O errors.
 // --check trips on any counter drift, on entries that disappeared or
@@ -29,6 +32,7 @@
 
 #include "wcs/driver/Results.h"
 #include "wcs/driver/Sweep.h"
+#include "wcs/driver/SweepRequest.h"
 #include "wcs/support/Stats.h"
 
 #include <algorithm>
@@ -55,9 +59,11 @@ void usage() {
       "  --threshold X    time gate: fail when geomean(current/baseline)\n"
       "                   wall-time ratio exceeds X (default 1.25)\n"
       "  --quiet          print only drifting entries and the summary\n"
-      "With a single file (a wcs-sweep document), renders capacity-axis\n"
-      "tables: misses vs swept-level capacity, one table per\n"
-      "configuration series (--check does not apply).\n");
+      "With a single file (a wcs-sweep or wcs-response document),\n"
+      "renders capacity-axis tables: misses vs swept-level capacity,\n"
+      "one table per configuration series; a wcs-response additionally\n"
+      "prints its request hash and store hit/miss figures (--check\n"
+      "does not apply).\n");
 }
 
 /// Total misses across levels (the headline drift number of one entry).
@@ -265,6 +271,28 @@ int renderSweep(const SweepDoc &Doc, const std::string &Path) {
   return 0;
 }
 
+/// Renders a wcs-response document: the serving provenance (request
+/// hash, store hit/miss split), then the embedded sweep through the
+/// same tables as a plain wcs-sweep file.
+int renderResponse(const SweepResponse &R, const std::string &Path) {
+  std::printf("response %s  (request %s)\n", Path.c_str(),
+              R.RequestHash.c_str());
+  if (!R.Ok) {
+    std::printf("REFUSED  %s\n", R.Error.c_str());
+    return 1;
+  }
+  uint64_t Total = R.StoreHits + R.StoreMisses;
+  std::printf("store    %llu/%llu points from store (%.1f%% hit rate), "
+              "%llu simulated; store holds %llu entries\n",
+              static_cast<unsigned long long>(R.StoreHits),
+              static_cast<unsigned long long>(Total),
+              Total == 0 ? 0.0 : 100.0 * static_cast<double>(R.StoreHits) /
+                                     static_cast<double>(Total),
+              static_cast<unsigned long long>(R.StoreMisses),
+              static_cast<unsigned long long>(R.StoreEntries));
+  return renderSweep(R.Sweep, Path);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -314,20 +342,38 @@ int main(int argc, char **argv) {
     return 2;
   }
   if (CurPath.empty()) {
-    // Single-file mode: render a wcs-sweep document.
+    // Single-file mode: render a wcs-sweep or wcs-response document,
+    // told apart by the schema member.
     if (Check) {
       std::fprintf(stderr,
                    "error: --check diffs two results files; a single "
-                   "wcs-sweep file only renders\n");
+                   "sweep/response file only renders\n");
       return 2;
     }
-    SweepDoc Doc;
+    json::Value V;
     std::string Err;
-    if (!readSweepFile(BasePath, Doc, &Err)) {
+    if (!json::readFile(BasePath, V, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    const json::Value *Schema = V.find("schema");
+    if (Schema && Schema->isString() &&
+        Schema->asString() == ResponseSchemaName) {
+      SweepResponse Resp;
+      if (!fromJson(V, Resp, &Err)) {
+        std::fprintf(stderr, "error: %s: %s\n", BasePath.c_str(),
+                     Err.c_str());
+        return 2;
+      }
+      return renderResponse(Resp, BasePath);
+    }
+    SweepDoc Doc;
+    if (!fromJson(V, Doc, &Err)) {
       std::fprintf(stderr,
-                   "error: %s\n(single-file mode renders wcs-sweep "
-                   "documents; diffing results needs two files)\n",
-                   Err.c_str());
+                   "error: %s: %s\n(single-file mode renders wcs-sweep "
+                   "and wcs-response documents; diffing results needs "
+                   "two files)\n",
+                   BasePath.c_str(), Err.c_str());
       return 2;
     }
     return renderSweep(Doc, BasePath);

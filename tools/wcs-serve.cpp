@@ -1,0 +1,225 @@
+//===- tools/wcs-serve.cpp - Sweep-as-a-service daemon --------------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+// A long-running sweep server with a persistent content-addressed result
+// store: every (program, options, hierarchy-config) point a request
+// expands to is keyed by canonical content, so overlapping grids -- from
+// one client or many, across daemon restarts -- pay for each point once.
+//
+//   wcs-serve --socket /tmp/wcs.sock --store /var/lib/wcs/store.jsonl
+//   wcs-serve --client --socket /tmp/wcs.sock --request sweep.json
+//   wcs-serve --client --socket /tmp/wcs.sock --shutdown
+//   wcs-serve --compact --store /var/lib/wcs/store.jsonl --max-entries 10000
+//
+// Request documents come from `wcs-sim --sweep ... --emit-request FILE`
+// (or any writer of the wcs-request v1 schema). Stdout is machine-clean
+// in every mode: the client prints exactly one wcs-response document
+// there and nothing else; the daemon and --compact print nothing to
+// stdout at all. All diagnostics and progress go to stderr.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/serve/Server.h"
+#include "wcs/support/StringUtil.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+using namespace wcs;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: wcs-serve [options]\n"
+      "daemon (default mode):\n"
+      "  --socket PATH         Unix-domain socket to listen on (required)\n"
+      "  --store PATH          persistent result store, a JSON-lines log\n"
+      "                        (default: in-memory only)\n"
+      "  --jobs N              worker threads per request (default 0 = all\n"
+      "                        cores)\n"
+      "client mode:\n"
+      "  --client              submit a request instead of serving\n"
+      "  --request FILE        wcs-request document to submit (from\n"
+      "                        wcs-sim --emit-request); the response\n"
+      "                        document is printed to stdout\n"
+      "  --out FILE            also write the response document to FILE\n"
+      "  --shutdown            ask the daemon to exit instead\n"
+      "store maintenance:\n"
+      "  --compact             rewrite the --store log in place: one line\n"
+      "                        per live key, oldest first\n"
+      "  --max-entries N       with --compact: evict oldest-inserted\n"
+      "                        entries beyond N (default 0 = keep all)\n");
+}
+
+int runClient(const std::string &SocketPath, const std::string &RequestPath,
+              const std::string &OutPath, bool Shutdown) {
+  std::string Err;
+  if (Shutdown) {
+    if (!requestShutdown(SocketPath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wcs-serve: daemon acknowledged shutdown\n");
+    return 0;
+  }
+
+  SweepRequest Req;
+  if (!readRequestFile(RequestPath, Req, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  SweepResponse Resp;
+  bool Sent = submitSweepRequest(
+      SocketPath, Req, Resp,
+      [](const ProgressEvent &E) {
+        std::fprintf(stderr, "point %zu/%zu  %-14s %s  %s\n", E.Point + 1,
+                     E.Total, sweepMethodName(E.Method),
+                     E.Ok ? "ok" : "FAILED", E.Cache.c_str());
+      },
+      &Err);
+  if (!Sent) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  // The response document is the ONLY thing on stdout, pretty-printed
+  // like every other wcs document file.
+  std::string Doc = toJson(Resp).dump(true);
+  std::printf("%s\n", Doc.c_str());
+  if (!OutPath.empty() && !json::writeFile(OutPath, toJson(Resp), &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!Resp.Ok) {
+    std::fprintf(stderr, "error: daemon refused request: %s\n",
+                 Resp.Error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "served   %zu points: %llu from store, %llu simulated "
+               "(store now %llu entries)\n",
+               Resp.Sweep.Points.size(),
+               static_cast<unsigned long long>(Resp.StoreHits),
+               static_cast<unsigned long long>(Resp.StoreMisses),
+               static_cast<unsigned long long>(Resp.StoreEntries));
+  return 0;
+}
+
+int runCompact(const std::string &StorePath, uint64_t MaxEntries) {
+  ResultStore Store;
+  std::string Err;
+  if (!Store.open(StorePath, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  size_t Before = Store.numEntries();
+  if (Store.recoveredBytes() > 0)
+    std::fprintf(stderr,
+                 "wcs-serve: recovered torn tail (%llu bytes dropped)\n",
+                 static_cast<unsigned long long>(Store.recoveredBytes()));
+  if (!Store.compact(static_cast<size_t>(MaxEntries), &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wcs-serve: compacted %s: %zu -> %zu entries\n",
+               StorePath.c_str(), Before, Store.numEntries());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath, StorePath, RequestPath, OutPath;
+  bool Client = false, Shutdown = false, Compact = false;
+  unsigned Jobs = 0;
+  uint64_t MaxEntries = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", A.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--socket") {
+      SocketPath = Next();
+    } else if (A == "--store") {
+      StorePath = Next();
+    } else if (A == "--request") {
+      RequestPath = Next();
+    } else if (A == "--out") {
+      OutPath = Next();
+    } else if (A == "--client") {
+      Client = true;
+    } else if (A == "--shutdown") {
+      Shutdown = true;
+      Client = true;
+    } else if (A == "--compact") {
+      Compact = true;
+    } else if (A == "--jobs") {
+      const char *N = Next();
+      if (!parseJobCount(N, Jobs)) {
+        std::fprintf(stderr,
+                     "error: --jobs expects a non-negative number, got "
+                     "'%s'\n",
+                     N);
+        return 2;
+      }
+    } else if (A == "--max-entries") {
+      const char *N = Next();
+      if (!parseUInt64(N, MaxEntries, UINT64_MAX)) {
+        std::fprintf(stderr,
+                     "error: --max-entries expects a non-negative number, "
+                     "got '%s'\n",
+                     N);
+        return 2;
+      }
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (Compact) {
+    if (Client || StorePath.empty()) {
+      std::fprintf(stderr,
+                   "error: --compact takes --store (and no --client)\n");
+      return 2;
+    }
+    return runCompact(StorePath, MaxEntries);
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "error: --socket is required\n");
+    usage();
+    return 2;
+  }
+  if (Client) {
+    if (!Shutdown && RequestPath.empty()) {
+      std::fprintf(stderr,
+                   "error: --client needs --request FILE or --shutdown\n");
+      return 2;
+    }
+    return runClient(SocketPath, RequestPath, OutPath, Shutdown);
+  }
+
+  ServerOptions SO;
+  SO.SocketPath = SocketPath;
+  SO.StorePath = StorePath;
+  SO.Threads = Jobs;
+  std::string Err;
+  if (!runServer(SO, nullptr, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include "wcs/driver/BatchRunner.h"
 #include "wcs/driver/Results.h"
 #include "wcs/driver/Sweep.h"
+#include "wcs/driver/SweepRequest.h"
 #include "wcs/frontend/Frontend.h"
 #include "wcs/polybench/Polybench.h"
 #include "wcs/support/StringUtil.h"
@@ -87,6 +88,10 @@ void usage() {
       "                        L1-miss-filtered stream, NINE semantics)\n"
       "  --sweep-json FILE     write the sweep as JSON (wcs-sweep "
       "schema)\n"
+      "  --emit-request FILE   write the sweep as a wcs-request document\n"
+      "                        and exit without running; the same\n"
+      "                        document replays through wcs-sim or a\n"
+      "                        wcs-serve daemon, bit-identically\n"
       "  --max-filtered-records N\n"
       "                        cap the stored records of one L1-miss\n"
       "                        stream (0 = unlimited; capped groups\n"
@@ -128,7 +133,7 @@ int main(int argc, char **argv) {
   uint64_t WarpSweepThreshold = 0;
   bool WarpSweepThresholdSet = false;
   std::string SweepL1Spec = "8K:256K:x2,assoc=8", SweepL2Spec,
-      SweepJsonPath;
+      SweepJsonPath, EmitRequestPath;
   bool HasL2 = false, HasL1 = false, NoWriteAlloc = false;
   bool All = false, Compare = false, Dump = false;
   SimBackend Backend = SimBackend::Warping;
@@ -178,6 +183,9 @@ int main(int argc, char **argv) {
       Sweep = true;
     } else if (A == "--sweep-json") {
       SweepJsonPath = Next();
+      Sweep = true;
+    } else if (A == "--emit-request") {
+      EmitRequestPath = Next();
       Sweep = true;
     } else if (A == "--max-filtered-records") {
       const char *N = Next();
@@ -284,6 +292,121 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  if (Sweep) {
+    // The sweep path is a thin adapter over the wcs-request API: flags
+    // become a SweepRequest, and the SAME request type runs here or --
+    // via --emit-request and wcs-serve --client -- in a daemon,
+    // producing bit-identical counters either way.
+    std::string Err;
+    SweepRequest Req;
+    if (!Kernel.empty()) {
+      Req.Kernel = Kernel;
+      Req.Size = Size;
+    } else {
+      std::ifstream In(File);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+        return 1;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Req.Source = SS.str();
+      Req.SourceName = File;
+      Req.Params = Params;
+    }
+    if (!parseSweepLevelGrid(SweepL1Spec, Req.L1, &Err) ||
+        (!SweepL2Spec.empty() &&
+         !parseSweepLevelGrid(SweepL2Spec, Req.L2, &Err))) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    Req.HasL2 = !SweepL2Spec.empty();
+    Req.Options.Sim = Opts;
+    Req.Options.WarpSweep = WarpSweep;
+    if (WarpSweepThresholdSet)
+      Req.Options.WarpSweepMinAccesses = WarpSweepThreshold;
+    if (BackendSet)
+      Req.Options.Backend = Backend;
+    if (MaxFilteredRecordsSet)
+      Req.Options.MaxFilteredRecords = MaxFilteredRecords;
+
+    if (!EmitRequestPath.empty()) {
+      PreparedSweep Prep; // Validate fully before emitting.
+      if (!prepareSweep(Req, Prep, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      if (!writeRequestFile(EmitRequestPath, Req, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "request  wrote %s (%zu grid points, hash %s)\n",
+                   EmitRequestPath.c_str(), Prep.Configs.size(),
+                   requestHash(Req).c_str());
+      return 0;
+    }
+
+    PreparedSweep Prep;
+    SweepReport Rep;
+    if (!runSweepRequest(Req, Jobs, Prep, Rep, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    if (Dump)
+      std::printf("%s\n", Prep.Program.str().c_str());
+
+    std::printf("program  %s  (%zu grid points)\n\n",
+                Prep.Program.Name.c_str(), Prep.Configs.size());
+    // Cap-demoted groups change a point's method from filtered-stream
+    // to full simulation; surface that here, not just in the document.
+    for (const std::string &L1Group : Rep.DemotedL1s)
+      std::fprintf(stderr,
+                   "warning: filtered-stream recording of L1 group %s "
+                   "overran the stream cap%s; its grid points fell back "
+                   "to full simulation (method \"simulated\")\n",
+                   L1Group.c_str(),
+                   Req.Options.MaxFilteredRecords
+                       ? ""
+                       : " (unexpectedly, with an unlimited cap)");
+    std::printf("%-44s %-14s %14s %10s %11s\n", "config", "method",
+                "misses", "ratio", "time[s]");
+    for (const SweepPoint &Pt : Rep.Points) {
+      if (!Pt.Ok) {
+        std::printf("%-44s FAILED: %s\n", Pt.Cache.str().c_str(),
+                    Pt.Error.c_str());
+        continue;
+      }
+      uint64_t Misses = 0;
+      for (unsigned L = 0; L < Pt.Stats.NumLevels; ++L)
+        Misses += Pt.Stats.Level[L].Misses;
+      std::printf("%-44s %-14s %14llu %9.3f%% %11.4f\n",
+                  Pt.Cache.str().c_str(), sweepMethodName(Pt.Method),
+                  static_cast<unsigned long long>(Misses),
+                  100.0 * Pt.Stats.Level[0].missRatio(),
+                  Pt.Stats.Seconds);
+    }
+    std::fprintf(stderr, "sweep    %s\n", Rep.summary().c_str());
+    // Per-method breakdown: where the sweep's time actually went, so
+    // speedup claims are auditable straight from the run. Rendered
+    // from the packaged document by the same formatter wcs-report
+    // uses, so run output and artifact rendering cannot drift.
+    SweepDoc Doc = makeSweepDoc("wcs-sim", Req.programLabel(),
+                                Req.sizeLabel(), Rep);
+    std::fprintf(stderr, "methods  %s\n",
+                 methodBreakdownLine(Doc).c_str());
+
+    if (!SweepJsonPath.empty()) {
+      if (!writeSweepFile(SweepJsonPath, Doc, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "results  wrote %zu points to %s\n",
+                   Doc.Points.size(), SweepJsonPath.c_str());
+    }
+    return Rep.allOk() ? 0 : 1;
+  }
+
   // The work list: one or thirty programs, owned here and shared by the
   // jobs (stable addresses via reserve).
   std::vector<ScopProgram> Programs;
@@ -320,90 +443,6 @@ int main(int argc, char **argv) {
       return 1;
     }
     Programs.push_back(std::move(PR.Program));
-  }
-
-  if (Sweep) {
-    const ScopProgram &P = Programs.front();
-    std::string Err;
-    SweepLevelGrid G1, G2;
-    if (!parseSweepLevelGrid(SweepL1Spec, G1, &Err) ||
-        (!SweepL2Spec.empty() &&
-         !parseSweepLevelGrid(SweepL2Spec, G2, &Err))) {
-      std::fprintf(stderr, "error: %s\n", Err.c_str());
-      return 2;
-    }
-    std::vector<HierarchyConfig> Grid;
-    if (!expandSweepGrid(G1, SweepL2Spec.empty() ? nullptr : &G2,
-                         InclusionPolicy::NonInclusiveNonExclusive, Grid,
-                         &Err)) {
-      std::fprintf(stderr, "error: %s\n", Err.c_str());
-      return 2;
-    }
-    if (Dump)
-      std::printf("%s\n", P.str().c_str());
-
-    SweepOptions SO;
-    SO.Sim = Opts;
-    SO.Threads = Jobs;
-    SO.WarpSweep = WarpSweep;
-    if (WarpSweepThresholdSet)
-      SO.WarpSweepMinAccesses = WarpSweepThreshold;
-    if (BackendSet)
-      SO.Backend = Backend;
-    if (MaxFilteredRecordsSet)
-      SO.MaxFilteredRecords = MaxFilteredRecords;
-    SweepReport Rep = runSweep(P, Grid, SO);
-
-    std::printf("program  %s  (%zu grid points)\n\n", P.Name.c_str(),
-                Grid.size());
-    // Cap-demoted groups change a point's method from filtered-stream
-    // to full simulation; surface that here, not just in the document.
-    for (const std::string &L1 : Rep.DemotedL1s)
-      std::fprintf(stderr,
-                   "warning: filtered-stream recording of L1 group %s "
-                   "overran the stream cap%s; its grid points fell back "
-                   "to full simulation (method \"simulated\")\n",
-                   L1.c_str(),
-                   SO.MaxFilteredRecords
-                       ? ""
-                       : " (unexpectedly, with an unlimited cap)");
-    std::printf("%-44s %-14s %14s %10s %11s\n", "config", "method",
-                "misses", "ratio", "time[s]");
-    for (const SweepPoint &Pt : Rep.Points) {
-      if (!Pt.Ok) {
-        std::printf("%-44s FAILED: %s\n", Pt.Cache.str().c_str(),
-                    Pt.Error.c_str());
-        continue;
-      }
-      uint64_t Misses = 0;
-      for (unsigned L = 0; L < Pt.Stats.NumLevels; ++L)
-        Misses += Pt.Stats.Level[L].Misses;
-      std::printf("%-44s %-14s %14llu %9.3f%% %11.4f\n",
-                  Pt.Cache.str().c_str(), sweepMethodName(Pt.Method),
-                  static_cast<unsigned long long>(Misses),
-                  100.0 * Pt.Stats.Level[0].missRatio(),
-                  Pt.Stats.Seconds);
-    }
-    std::fprintf(stderr, "sweep    %s\n", Rep.summary().c_str());
-    // Per-method breakdown: where the sweep's time actually went, so
-    // speedup claims are auditable straight from the run. Rendered
-    // from the packaged document by the same formatter wcs-report
-    // uses, so run output and artifact rendering cannot drift.
-    SweepDoc Doc = makeSweepDoc(
-        "wcs-sim", P.Name, File.empty() ? problemSizeName(Size) : "",
-        Rep);
-    std::fprintf(stderr, "methods  %s\n",
-                 methodBreakdownLine(Doc).c_str());
-
-    if (!SweepJsonPath.empty()) {
-      if (!writeSweepFile(SweepJsonPath, Doc, &Err)) {
-        std::fprintf(stderr, "error: %s\n", Err.c_str());
-        return 1;
-      }
-      std::fprintf(stderr, "results  wrote %zu points to %s\n",
-                   Doc.Points.size(), SweepJsonPath.c_str());
-    }
-    return Rep.allOk() ? 0 : 1;
   }
 
   HierarchyConfig H = HasL2 ? HierarchyConfig::twoLevel(L1, L2)

@@ -20,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "wcs/driver/SpecParse.h"
 #include "wcs/frontend/Frontend.h"
 #include "wcs/polybench/Polybench.h"
 #include "wcs/support/StringUtil.h"
