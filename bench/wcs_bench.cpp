@@ -77,7 +77,11 @@ void usage() {
       "fig09-hier|fig12|hotloop; repeatable (default: all)\n"
       "  --jobs N         worker threads (0 = all cores; defaults to\n"
       "                   $WCS_JOBS, else 1 for clean timings; an\n"
-      "                   explicit --jobs beats the environment)\n");
+      "                   explicit --jobs beats the environment)\n"
+      "  --reps N         time the main batch N times (default 1); every\n"
+      "                   entry records its per-rep wall-time samples and\n"
+      "                   reports their mean, so wcs-report --check can\n"
+      "                   gate against measured noise instead of one draw\n");
 }
 
 /// Builds each (kernel, size) program once; std::deque keeps addresses
@@ -185,6 +189,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Suites;
   // $WCS_JOBS seeds the default; an explicit --jobs takes precedence.
   unsigned Jobs = jobsFromEnv(1);
+  unsigned Reps = 1;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -216,6 +221,15 @@ int main(int argc, char **argv) {
       if (!parseJobCount(N, Jobs)) {
         std::fprintf(stderr,
                      "error: --jobs expects a non-negative number, got "
+                     "'%s'\n",
+                     N);
+        return 2;
+      }
+    } else if (A == "--reps") {
+      const char *N = Next();
+      if (!parseJobCount(N, Reps) || Reps == 0) {
+        std::fprintf(stderr,
+                     "error: --reps expects a positive number, got "
                      "'%s'\n",
                      N);
         return 2;
@@ -375,6 +389,23 @@ int main(int argc, char **argv) {
   for (const VerifyPair &P : Pairs)
     requireEqualMisses(P.Kernel, Rep.Results[P.Slow].Stats,
                        Rep.Results[P.Fast].Stats);
+
+  // --reps: re-time the whole batch so every entry carries a wall-time
+  // sample distribution (wcs-report's noise-aware gate needs more than
+  // one draw to estimate anything). Counters must not move between
+  // repetitions -- a drift here is a determinism bug, not noise.
+  std::vector<std::vector<double>> BatchSamples(Work.size());
+  for (size_t J = 0; J < Work.size(); ++J)
+    BatchSamples[J].push_back(Rep.Results[J].Stats.Seconds);
+  for (unsigned R = 1; R < Reps; ++R) {
+    std::fprintf(stderr, "wcs-bench: timing rep %u/%u\n", R + 1, Reps);
+    BatchReport Again = runBatchOn(Work, Jobs);
+    for (size_t J = 0; J < Work.size(); ++J) {
+      requireEqualMisses(Work[J].Tag.c_str(), Rep.Results[J].Stats,
+                         Again.Results[J].Stats);
+      BatchSamples[J].push_back(Again.Results[J].Stats.Seconds);
+    }
+  }
 
   // The sweep suite: per kernel, answer all capacity points from one
   // stack-distance pass, verify bit-identity against the independent
@@ -696,6 +727,18 @@ int main(int argc, char **argv) {
   Doc.SizeName = problemSizeName(Size);
   Doc.Threads = Rep.Threads;
   Doc.Entries = makeResultEntries(Work, Rep);
+  // Multi-rep entries report the mean of their samples as the headline
+  // wall time (pre-reps readers keep working) and carry the raw samples
+  // for the noise-aware gate. The post-batch suites (sweeps, hotloop)
+  // time serially once and stay single-sample.
+  if (Reps > 1)
+    for (size_t J = 0; J < Work.size(); ++J) {
+      MeanStddev MS;
+      for (double S : BatchSamples[J])
+        MS.add(S);
+      Doc.Entries[J].Samples = std::move(BatchSamples[J]);
+      Doc.Entries[J].Stats.Seconds = MS.mean();
+    }
   Doc.Entries.insert(Doc.Entries.end(),
                      std::make_move_iterator(SweepEntries.begin()),
                      std::make_move_iterator(SweepEntries.end()));

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace wcs {
@@ -140,9 +141,33 @@ public:
   /// callers).
   static BatchResult runJob(const BatchJob &Job, size_t JobIndex = 0);
 
+  /// Shared-pool admission: spawns threads() persistent workers that
+  /// repeatedly pull work through \p Next. A worker calls Next with an
+  /// empty task slot; Next blocks until work is available (filling the
+  /// slot and returning true) or the pool is being retired (returning
+  /// false, which ends that worker). The scheduling POLICY therefore
+  /// lives entirely in the caller's Next -- the wcs-serve scheduler
+  /// uses it for fair round-robin across requests -- while this class
+  /// keeps owning the threads. Tasks must not throw (there is no batch
+  /// to attribute a failure to; callers catch inside the task).
+  /// run()/runTasks() remain usable on a separate BatchRunner while a
+  /// pool runs, but not on this one.
+  void startPool(std::function<bool(std::function<void()> &)> Next);
+
+  /// Joins every pool worker. The caller must first make Next return
+  /// false for all workers (e.g. flip a stop flag and wake them), or
+  /// this blocks forever. No-op when no pool is running.
+  void stopPool();
+
+  ~BatchRunner() { stopPool(); }
+  BatchRunner(const BatchRunner &) = delete;
+  BatchRunner &operator=(const BatchRunner &) = delete;
+
 private:
   unsigned NumThreads;
   std::function<void(const BatchResult &)> Progress;
+  std::vector<std::thread> Pool;
+  std::function<bool(std::function<void()> &)> PoolNext;
 };
 
 } // namespace wcs

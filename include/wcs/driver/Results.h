@@ -71,6 +71,12 @@ struct ResultEntry {
   bool Ok = false;
   std::string Error;
   SimStats Stats;
+  /// Per-repetition wall-time samples in seconds (wcs-bench --reps N).
+  /// When present, Stats.Seconds is their mean; single-sample producers
+  /// leave this empty and readers fall back to {Stats.Seconds}.
+  /// Serialized as "samples", optional on read so pre-reps baseline
+  /// files still parse.
+  std::vector<double> Samples;
 };
 
 /// A whole results file: producer metadata plus entries.

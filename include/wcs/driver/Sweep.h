@@ -174,6 +174,37 @@ SweepReport runSweep(const ScopProgram &Program,
                      const std::vector<HierarchyConfig> &Configs,
                      const SweepOptions &Opts);
 
+/// Splits \p Configs into sub-sweep groups along exactly the seams
+/// runSweep's internal partition never shares across: all single-level
+/// write-allocate LRU points form ONE group (they share the
+/// stack-distance pass and its banks), two-level NINE points group by
+/// their L1 configuration (one recorded filtered stream per distinct
+/// L1), and every other point groups by its exact configuration (the
+/// BatchRunner dedup key). Each returned group lists input indices in
+/// input order; every index appears in exactly one group.
+///
+/// The invariant this buys: running each group through its own
+/// runSweep call yields counters bit-identical to one combined call
+/// over all of \p Configs -- per-point results never depend on which
+/// other points ride along, only the COST does, and the grouping keeps
+/// every intra-request sharing opportunity (shared pass, shared
+/// stream, job dedup) inside one group. This is what lets the
+/// wcs-serve scheduler interleave jobs from many requests without
+/// giving up the sharing that makes sweeps fast. Invalid
+/// configurations group by their exact configuration like the
+/// simulated remainder (they fail identically wherever they run).
+std::vector<std::vector<size_t>>
+partitionSweepGroups(const std::vector<HierarchyConfig> &Configs);
+
+/// Accumulates the aggregate pass/partition figures of \p From into
+/// \p Into: additive figures (pass seconds, job counts, record
+/// counts...) sum, TraceAccesses takes the max (same program, same
+/// trace -- summing would double-count), PeriodicPass ORs, DemotedL1s
+/// appends. Points and Threads are left untouched: the caller owns
+/// point placement. Used to reassemble one SweepReport from per-group
+/// sub-sweeps (see partitionSweepGroups).
+void mergeSweepReports(SweepReport &Into, const SweepReport &From);
+
 //===----------------------------------------------------------------------===//
 // The wcs-sweep results document
 //===----------------------------------------------------------------------===//

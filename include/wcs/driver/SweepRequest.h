@@ -140,6 +140,14 @@ struct SweepResponse {
   std::string RequestHash; ///< requestHash() of the request served.
   uint64_t StoreHits = 0;   ///< Points answered from the store.
   uint64_t StoreMisses = 0; ///< Points freshly simulated (then stored).
+  /// Points answered by subscribing to another in-flight request that
+  /// was already computing the same key (the concurrent-scheduler
+  /// extension of store sharing to the live pipeline; always 0 from
+  /// the serial serveSweepRequest path). The three counters partition
+  /// the grid: hits + inflight_hits + misses == points. Serialized as
+  /// "inflight_hits", optional on read so pre-scheduler responses
+  /// still parse.
+  uint64_t InFlightHits = 0;
   uint64_t StoreEntries = 0; ///< Store size after serving this request.
   SweepDoc Sweep;
 };

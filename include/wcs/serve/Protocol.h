@@ -11,14 +11,20 @@
 ///
 ///   client -> server   one line: a wcs-request v1 document, or the
 ///                      control document {"schema":"wcs-control",
-///                      "schema_version":1,"cmd":"shutdown"}
+///                      "schema_version":1,"cmd":"shutdown"} (or
+///                      "status", whose ack carries the scheduler and
+///                      store counters)
 ///   server -> client   zero or more wcs-progress lines (one per grid
 ///                      point as its result lands: {"schema":
-///                      "wcs-progress","schema_version":1,"point":I,
-///                      "total":N,"cache":"...","method":"store",
-///                      "ok":true}), then exactly one final line -- a
-///                      wcs-response v1 document (or a wcs-control ack
-///                      for shutdown) -- and the server closes.
+///                      "wcs-progress","schema_version":1,"request":R,
+///                      "point":I,"total":N,"cache":"...","method":
+///                      "store","ok":true}), then exactly one final
+///                      line -- a wcs-response v1 document (or a
+///                      wcs-control ack for shutdown/status) -- and
+///                      the server closes. The daemon serves many
+///                      connections concurrently; "request" is the
+///                      daemon-assigned serial tying progress lines to
+///                      their request.
 ///
 /// Compact dumps contain no raw newlines (the JSON writer escapes them
 /// inside strings), so '\n' frames are unambiguous. This header also
@@ -44,6 +50,12 @@ inline constexpr int64_t ServeProtocolVersion = 1;
 
 /// One per-point progress notification.
 struct ProgressEvent {
+  /// Daemon-assigned request serial. With the concurrent scheduler a
+  /// daemon interleaves many requests; the serial ties every progress
+  /// line (and the daemon's stderr log) to one of them. Serialized as
+  /// "request", optional on read (0 -- what pre-scheduler daemons
+  /// emitted), always written.
+  uint64_t Request = 0;
   size_t Point = 0;    ///< Grid-point index, input order.
   size_t Total = 0;    ///< Points in the request.
   std::string Cache;   ///< HierarchyConfig::str() of the point.
@@ -102,6 +114,15 @@ bool submitSweepRequest(const std::string &SocketPath,
 
 /// Asks the daemon to shut down and waits for its ack.
 bool requestShutdown(const std::string &SocketPath, std::string *Err);
+
+/// Asks the daemon for its status line (the wcs-control "status"
+/// command) and parses the ack -- a wcs-control object carrying the
+/// scheduler and store counters (requests_served, points_computed,
+/// store_hits, inflight_hits, cancelled_jobs, active_requests,
+/// queued_jobs, store_entries, active_connections, max_connections)
+/// -- into \p Out. Returns false on transport errors or a refused ack.
+bool requestStatus(const std::string &SocketPath, json::Value &Out,
+                   std::string *Err);
 
 } // namespace wcs
 

@@ -11,10 +11,14 @@
 /// stored SweepPoint verbatim under method "store" provenance, misses
 /// are sharded through the existing runSweep machinery (which itself
 /// partitions them across the stack-distance / filtered-stream /
-/// simulated fast paths) and the fresh results are inserted back -- and
-/// runServer() wraps it in the accept loop speaking serve/Protocol.
-/// serveSweepRequest is the whole semantic surface; the tests drive it
-/// directly and through the socket, and both must agree bit-for-bit.
+/// simulated fast paths) and the fresh results are inserted back.
+/// runServer() wraps the same semantics in a concurrent accept loop
+/// speaking serve/Protocol: one thread per connection, every request
+/// admitted to one shared serve/Scheduler (cross-request point dedup,
+/// fair round-robin, disconnect cancellation). serveSweepRequest stays
+/// as the SERIAL REFERENCE implementation of one request's semantics;
+/// the tests drive it directly and through the socket, and both must
+/// agree bit-for-bit on counters and provenance.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,13 +50,23 @@ serveSweepRequest(const SweepRequest &Req, ResultStore &Store,
 struct ServerOptions {
   std::string SocketPath;
   std::string StorePath; ///< Empty = in-memory store.
-  unsigned Threads = 0;  ///< Workers per request (0 = all cores).
+  /// Scheduler worker threads, shared by ALL connections (0 = all
+  /// cores). The machine's parallelism budget stays in one place no
+  /// matter how many clients are connected.
+  unsigned Threads = 0;
+  /// Connections served at once; further clients wait in the listen
+  /// backlog until a slot frees. 0 = unlimited.
+  unsigned MaxConnections = 8;
 };
 
-/// The daemon: open the store, listen, serve one connection at a time
-/// (each request already fans out across the BatchRunner pool, so
-/// serialized connections keep the machine's parallelism budget in one
-/// place), exit cleanly on a wcs-control shutdown. Diagnostics on
+/// The daemon: open the store, start the shared scheduler, listen, and
+/// serve up to MaxConnections connections concurrently -- one thread
+/// per connection, every request admitted to the one scheduler so
+/// overlapping grids from simultaneous clients compute each shared
+/// point once. A client that disconnects mid-request has its unshared
+/// queued jobs cancelled. Exits cleanly on a wcs-control shutdown
+/// (in-flight requests drain first); a wcs-control "status" line
+/// answers with scheduler/store/connection counters. Diagnostics on
 /// stderr only; nothing is ever written to stdout. \p OnReady (may be
 /// null) fires once the socket is accepting -- tests use it instead of
 /// polling. Returns false with \p Err on setup failure.

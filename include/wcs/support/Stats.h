@@ -7,9 +7,11 @@
 ///
 /// \file
 /// The geometric mean — the project's headline statistic for speedup
-/// ratios (paper Figs. 6-12). One definition shared by the figure
-/// harnesses, wcs-bench and wcs-report, so the reported number can never
-/// drift between producers and the regression gate.
+/// ratios (paper Figs. 6-12) — and the mean/stddev accumulator behind
+/// wcs-bench --reps / wcs-report's noise-aware time gate. One
+/// definition shared by the figure harnesses, wcs-bench and
+/// wcs-report, so the reported numbers can never drift between
+/// producers and the regression gate.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +40,35 @@ public:
 
 private:
   double LogSum = 0.0;
+  unsigned N = 0;
+};
+
+/// Streaming mean / sample standard deviation (Welford's algorithm, so
+/// long sample runs do not lose precision to catastrophic cancellation).
+/// stddev() is the n-1 sample estimator, 0.0 below two samples;
+/// stderror() is stddev()/sqrt(n), the noise of the MEAN itself, which
+/// is what a repetition-aware regression gate must compare against.
+class MeanStddev {
+public:
+  void add(double V) {
+    ++N;
+    double Delta = V - Mean;
+    Mean += Delta / N;
+    M2 += Delta * (V - Mean);
+  }
+
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+  double stddev() const {
+    return N < 2 ? 0.0 : std::sqrt(M2 / (N - 1));
+  }
+  double stderror() const {
+    return N < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(N));
+  }
+  unsigned count() const { return N; }
+
+private:
+  double Mean = 0.0;
+  double M2 = 0.0;
   unsigned N = 0;
 };
 

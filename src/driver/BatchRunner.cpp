@@ -192,6 +192,31 @@ bool wcs::parseJobCount(const char *Text, unsigned &Out) {
   return true;
 }
 
+void BatchRunner::startPool(
+    std::function<bool(std::function<void()> &)> Next) {
+  stopPool();
+  PoolNext = std::move(Next);
+  Pool.reserve(NumThreads);
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Pool.emplace_back([this] {
+      std::function<void()> Task;
+      while (PoolNext(Task)) {
+        Task();
+        // Drop captured state promptly: a task may pin large request
+        // state (program, configs) that must not outlive its run by a
+        // whole blocking Next call.
+        Task = nullptr;
+      }
+    });
+}
+
+void BatchRunner::stopPool() {
+  for (std::thread &T : Pool)
+    T.join();
+  Pool.clear();
+  PoolNext = nullptr;
+}
+
 void BatchRunner::runTasks(const std::vector<std::function<void()>> &Tasks) {
   unsigned Threads = static_cast<unsigned>(std::min<size_t>(
       NumThreads, std::max<size_t>(1, Tasks.size())));

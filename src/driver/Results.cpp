@@ -209,6 +209,14 @@ Value wcs::toJson(const ResultEntry &E) {
   V.set("ok", E.Ok);
   V.set("error", E.Error);
   V.set("stats", toJson(E.Stats));
+  // Only multi-sample producers carry the array; a single-sample entry
+  // serializes exactly as it did before --reps existed.
+  if (!E.Samples.empty()) {
+    Value S = Value::array();
+    for (double Sample : E.Samples)
+      S.push(Value(Sample));
+    V.set("samples", std::move(S));
+  }
   return V;
 }
 
@@ -228,6 +236,16 @@ bool wcs::fromJson(const Value &V, ResultEntry &Out, std::string *Err) {
     return false;
   if (!parseBackendName(Backend, Out.Backend))
     return failMsg(Err, "unknown backend '" + Backend + "'");
+  Out.Samples.clear();
+  if (const Value *Samples = V.find("samples")) {
+    if (!Samples->isArray())
+      return failMsg(Err, "member 'samples' must be an array");
+    for (size_t N = 0; N < Samples->size(); ++N) {
+      if (!Samples->at(N).isNumber())
+        return failMsg(Err, "member 'samples' must hold numbers");
+      Out.Samples.push_back(Samples->at(N).asDouble());
+    }
+  }
   return true;
 }
 

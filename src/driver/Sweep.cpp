@@ -486,6 +486,64 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
   return Rep;
 }
 
+std::vector<std::vector<size_t>>
+wcs::partitionSweepGroups(const std::vector<HierarchyConfig> &Configs) {
+  // Mirrors the three-way partition at the top of runSweep: the group
+  // key is the sharing resource a point consumes, so points that could
+  // share work in one combined call always land in one group.
+  std::vector<std::vector<size_t>> Groups;
+  std::map<std::string, size_t> ByKey;
+  auto groupFor = [&](std::string Key) -> std::vector<size_t> & {
+    auto It = ByKey.find(Key);
+    if (It == ByKey.end()) {
+      It = ByKey.emplace(std::move(Key), Groups.size()).first;
+      Groups.emplace_back();
+    }
+    return Groups[It->second];
+  };
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    const HierarchyConfig &H = Configs[I];
+    if (!H.validate().empty()) {
+      groupFor("sim:" + toJson(H).dump(false)).push_back(I);
+      continue;
+    }
+    const CacheConfig &L1 = H.Levels.front();
+    if (H.numLevels() == 1 && L1.Policy == PolicyKind::Lru &&
+        L1.WriteAlloc == WriteAllocate::Yes)
+      groupFor("sd").push_back(I);
+    else if (H.numLevels() == 2 &&
+             H.Inclusion == InclusionPolicy::NonInclusiveNonExclusive)
+      groupFor("fs:" + toJson(L1).dump(false)).push_back(I);
+    else
+      groupFor("sim:" + toJson(H).dump(false)).push_back(I);
+  }
+  return Groups;
+}
+
+void wcs::mergeSweepReports(SweepReport &Into, const SweepReport &From) {
+  Into.TracePassSeconds += From.TracePassSeconds;
+  Into.TraceAccesses = std::max(Into.TraceAccesses, From.TraceAccesses);
+  Into.NumBanks += From.NumBanks;
+  Into.StackDistancePoints += From.StackDistancePoints;
+  Into.PeriodicPass = Into.PeriodicPass || From.PeriodicPass;
+  Into.PeriodicPassSeconds += From.PeriodicPassSeconds;
+  Into.PeriodicWarps += From.PeriodicWarps;
+  Into.PeriodicWarpedAccesses += From.PeriodicWarpedAccesses;
+  Into.FilteredPoints += From.FilteredPoints;
+  Into.FilteredGroups += From.FilteredGroups;
+  Into.FilteredRecords += From.FilteredRecords;
+  Into.FilteredStoredRecords += From.FilteredStoredRecords;
+  Into.RecordSeconds += From.RecordSeconds;
+  Into.DemotedL1s.insert(Into.DemotedL1s.end(), From.DemotedL1s.begin(),
+                         From.DemotedL1s.end());
+  Into.SimulatedJobs += From.SimulatedJobs;
+  Into.ReplayJobs += From.ReplayJobs;
+  Into.DedupedPoints += From.DedupedPoints;
+  Into.SimulatedSeconds += From.SimulatedSeconds;
+  Into.ReplaySeconds += From.ReplaySeconds;
+  Into.WallSeconds += From.WallSeconds;
+}
+
 std::string wcs::methodBreakdownLine(const SweepDoc &D) {
   size_t ByMethod[4] = {0, 0, 0, 0};
   for (const SweepPoint &P : D.Points)

@@ -291,6 +291,7 @@ Value wcs::toJson(const SweepResponse &R) {
   V.set("request_hash", R.RequestHash);
   V.set("store_hits", R.StoreHits);
   V.set("store_misses", R.StoreMisses);
+  V.set("inflight_hits", R.InFlightHits);
   V.set("store_entries", R.StoreEntries);
   if (R.Ok)
     V.set("sweep", toJson(R.Sweep));
@@ -306,6 +307,10 @@ bool wcs::fromJson(const Value &V, SweepResponse &Out, std::string *Err) {
       !needString(V, "request_hash", R.RequestHash, Err) ||
       !needUInt(V, "store_hits", R.StoreHits, Err) ||
       !needUInt(V, "store_misses", R.StoreMisses, Err) ||
+      // Joined the v1 schema with the concurrent scheduler: optional
+      // on read (0, which is what serial servers genuinely produce),
+      // always written.
+      !optUInt(V, "inflight_hits", R.InFlightHits, Err) ||
       !needUInt(V, "store_entries", R.StoreEntries, Err))
     return false;
   if (R.Ok) {

@@ -24,6 +24,7 @@ Value wcs::toJson(const ProgressEvent &E) {
   Value V = Value::object();
   V.set("schema", ProgressSchemaName);
   V.set("schema_version", ServeProtocolVersion);
+  V.set("request", E.Request);
   V.set("point", static_cast<uint64_t>(E.Point));
   V.set("total", static_cast<uint64_t>(E.Total));
   V.set("cache", E.Cache);
@@ -38,7 +39,10 @@ bool wcs::fromJson(const Value &V, ProgressEvent &Out, std::string *Err) {
   ProgressEvent E;
   uint64_t Point, Total;
   std::string Method;
-  if (!needUInt(V, "point", Point, Err) ||
+  // "request" joined the v1 schema with the concurrent scheduler:
+  // optional on read (0, what serial daemons emitted), always written.
+  if (!optUInt(V, "request", E.Request, Err) ||
+      !needUInt(V, "point", Point, Err) ||
       !needUInt(V, "total", Total, Err) ||
       !needString(V, "cache", E.Cache, Err) ||
       !needString(V, "method", Method, Err) ||
@@ -117,7 +121,11 @@ bool wcs::sendLine(int Fd, const std::string &Line, std::string *Err) {
   std::string Framed = Line + '\n';
   size_t Sent = 0;
   while (Sent < Framed.size()) {
-    ssize_t N = ::write(Fd, Framed.data() + Sent, Framed.size() - Sent);
+    // MSG_NOSIGNAL: a peer that closed mid-stream must surface as a
+    // `false` return (the daemon treats it as a disconnect and cancels
+    // the request's unshared jobs), never as a process-killing SIGPIPE.
+    ssize_t N = ::send(Fd, Framed.data() + Sent, Framed.size() - Sent,
+                       MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -207,14 +215,19 @@ bool wcs::submitSweepRequest(
   return true;
 }
 
-bool wcs::requestShutdown(const std::string &SocketPath, std::string *Err) {
+namespace {
+
+/// One control round trip: send {"cmd":\p Cmd}, read the ack line into
+/// \p Ack (may be null when the caller only needs the handshake).
+bool controlRoundTrip(const std::string &SocketPath, const char *Cmd,
+                      Value *Ack, std::string *Err) {
   int Fd = connectUnix(SocketPath, Err);
   if (Fd < 0)
     return false;
   Value V = Value::object();
   V.set("schema", ControlSchemaName);
   V.set("schema_version", ServeProtocolVersion);
-  V.set("cmd", "shutdown");
+  V.set("cmd", Cmd);
   if (!sendLine(Fd, V.dump(false), Err)) {
     closeFd(Fd);
     return false;
@@ -224,6 +237,28 @@ bool wcs::requestShutdown(const std::string &SocketPath, std::string *Err) {
   bool Acked = Reader.readLine(Line, Err);
   closeFd(Fd);
   if (!Acked)
-    return failMsg(Err, "daemon closed without acking shutdown");
+    return failMsg(Err, std::string("daemon closed without acking ") +
+                            Cmd);
+  if (!Ack)
+    return true;
+  std::string ParseErr;
+  if (!json::parse(Line, *Ack, &ParseErr))
+    return failMsg(Err, "malformed ack from daemon: " + ParseErr);
+  bool Ok = false;
+  if (!needBool(*Ack, "ok", Ok, Err))
+    return false;
+  if (!Ok)
+    return failMsg(Err, std::string("daemon refused ") + Cmd);
   return true;
+}
+
+} // namespace
+
+bool wcs::requestShutdown(const std::string &SocketPath, std::string *Err) {
+  return controlRoundTrip(SocketPath, "shutdown", nullptr, Err);
+}
+
+bool wcs::requestStatus(const std::string &SocketPath, json::Value &Out,
+                        std::string *Err) {
+  return controlRoundTrip(SocketPath, "status", &Out, Err);
 }

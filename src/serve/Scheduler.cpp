@@ -1,0 +1,344 @@
+//===- src/serve/Scheduler.cpp - Cross-request job scheduler --------------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/serve/Scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace wcs;
+
+namespace {
+
+ProgressEvent makeEvent(uint64_t Serial, size_t Total, size_t I,
+                        const SweepPoint &P) {
+  ProgressEvent E;
+  E.Request = Serial;
+  E.Point = I;
+  E.Total = Total;
+  E.Cache = P.Cache.str();
+  E.Method = P.Method;
+  E.Ok = P.Ok;
+  return E;
+}
+
+} // namespace
+
+Scheduler::Scheduler(ResultStore &Store, unsigned Threads)
+    : Store(Store), Runner(Threads) {
+  PoolThreads = Runner.threads();
+  Runner.startPool(
+      [this](std::function<void()> &Task) { return nextJob(Task); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  Runner.stopPool();
+}
+
+bool Scheduler::nextJob(std::function<void()> &Task) {
+  Job J;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    WorkCv.wait(L, [this] { return Stopping || !RoundRobin.empty(); });
+    if (RoundRobin.empty())
+      return false; // Stopping, nothing queued: retire the worker.
+    // Fairness: take ONE job from the front request, then rotate it to
+    // the back, so K active requests each get every K-th job slot no
+    // matter how many jobs any one of them brought.
+    RequestState *RS = RoundRobin.front();
+    RoundRobin.pop_front();
+    J = std::move(RS->Queue.front());
+    RS->Queue.pop_front();
+    if (!RS->Queue.empty())
+      RoundRobin.push_back(RS);
+  }
+  Task = [this, J = std::move(J)]() mutable { runJob(J); };
+  return true;
+}
+
+void Scheduler::runJob(Job &J) {
+  RequestState *RS = J.Owner;
+  if (Observer)
+    Observer(RS->Serial, J.Configs.size());
+
+  // The sub-sweep itself runs unlocked and single-threaded: the
+  // scheduler's parallelism is across jobs, so one worker owns one
+  // group end to end. Same honesty rule as runSweep's internal tasks: a
+  // throwing sub-sweep becomes per-point failures, never a dead worker.
+  SweepReport Rep;
+  bool Threw = false;
+  std::string ThrowErr;
+  try {
+    Rep = runSweep(*RS->Program, J.Configs, RS->SO);
+  } catch (const std::exception &E) {
+    Threw = true;
+    ThrowErr = E.what();
+  } catch (...) {
+    Threw = true;
+    ThrowErr = "unknown exception";
+  }
+  if (Threw) {
+    Rep = SweepReport();
+    Rep.Points.resize(J.Configs.size());
+    for (size_t G = 0; G < J.Configs.size(); ++G) {
+      Rep.Points[G].Cache = J.Configs[G];
+      Rep.Points[G].Backend = RS->SO.Backend;
+      Rep.Points[G].Error = ThrowErr;
+    }
+  }
+
+  std::lock_guard<std::mutex> L(Mu);
+  mergeSweepReports(RS->Merged, Rep);
+  for (size_t G = 0; G < J.PointIdx.size(); ++G) {
+    size_t I = J.PointIdx[G];
+    const SweepPoint &P = Rep.Points[G];
+    // THE single writer: every insert in the process happens here,
+    // under Mu, no matter which request raced the key in.
+    if (P.Ok)
+      Store.insert(RS->Keys[I], P, nullptr);
+    ++Counters.PointsComputed;
+    RS->Points[I] = P;
+    RS->Ready.push_back(makeEvent(RS->Serial, RS->Total, I, P));
+    // Hand the result to every subscriber, then retire the in-flight
+    // entry -- later requests hit the store instead.
+    auto It = InFlight.find(RS->Keys[I]);
+    if (It != InFlight.end()) {
+      for (const auto &[SubRS, SubI] : It->second->Subscribers) {
+        SweepPoint SP = P;
+        if (SP.Ok)
+          SP.Method = SweepMethod::Store; // It is in the store now;
+                                          // failed points are not, and
+                                          // keep their honest method.
+        SubRS->Points[SubI] = std::move(SP);
+        --SubRS->PendingSubscriptions;
+        SubRS->Ready.push_back(
+            makeEvent(SubRS->Serial, SubRS->Total, SubI,
+                      SubRS->Points[SubI]));
+        SubRS->Cv.notify_all();
+      }
+      InFlight.erase(It);
+    }
+  }
+  --RS->JobsOutstanding;
+  RS->Cv.notify_all();
+}
+
+void Scheduler::cancelLocked(RequestState &RS) {
+  RS.Cancelled = true;
+  // Withdraw subscriptions first -- both from other requests' points
+  // (their owners keep going; the result still lands in the store) and
+  // from this grid's own duplicate points, so a self-subscription
+  // cannot keep a doomed job below alive.
+  for (const std::string &K : RS.SubscribedKeys) {
+    auto It = InFlight.find(K);
+    if (It == InFlight.end())
+      continue;
+    auto &Subs = It->second->Subscribers;
+    Subs.erase(std::remove_if(Subs.begin(), Subs.end(),
+                              [&RS](const auto &S) {
+                                return S.first == &RS;
+                              }),
+               Subs.end());
+  }
+  RS.PendingSubscriptions = 0;
+  RS.SubscribedKeys.clear();
+  // Drop queued jobs nobody else wants; keep any job with at least one
+  // subscriber (it computes points another live request is waiting for
+  // -- the drop rule is per job, not per point, so a partially-shared
+  // job simply runs whole).
+  std::deque<Job> Keep;
+  for (Job &J : RS.Queue) {
+    bool Wanted = false;
+    for (size_t I : J.PointIdx) {
+      auto It = InFlight.find(RS.Keys[I]);
+      if (It != InFlight.end() && !It->second->Subscribers.empty()) {
+        Wanted = true;
+        break;
+      }
+    }
+    if (Wanted) {
+      Keep.push_back(std::move(J));
+      continue;
+    }
+    for (size_t G = 0; G < J.PointIdx.size(); ++G) {
+      size_t I = J.PointIdx[G];
+      InFlight.erase(RS.Keys[I]);
+      RS.Points[I].Cache = J.Configs[G];
+      RS.Points[I].Error = "cancelled: client disconnected";
+    }
+    ++Counters.CancelledJobs;
+    --RS.JobsOutstanding;
+  }
+  RS.Queue.swap(Keep);
+  if (RS.Queue.empty())
+    RoundRobin.erase(
+        std::remove(RoundRobin.begin(), RoundRobin.end(), &RS),
+        RoundRobin.end());
+}
+
+SweepResponse Scheduler::serve(
+    const SweepRequest &Req,
+    const std::function<bool(const ProgressEvent &)> &OnProgress,
+    const std::function<bool()> &IsCancelled) {
+  SweepResponse Resp;
+  Resp.RequestHash = requestHash(Req);
+
+  PreparedSweep Prep;
+  std::string Err;
+  if (!prepareSweep(Req, Prep, &Err)) {
+    Resp.Error = Err;
+    std::lock_guard<std::mutex> L(Mu);
+    ++Counters.RequestsServed;
+    Resp.StoreEntries = Store.numEntries();
+    return Resp;
+  }
+
+  RequestState RS;
+  RS.Program = &Prep.Program;
+  RS.SO = Req.Options;
+  RS.SO.Threads = 1; // One worker owns one job; parallelism is across jobs.
+  RS.Total = Prep.Configs.size();
+  RS.Points.resize(RS.Total);
+  RS.Keys.resize(RS.Total);
+
+  std::vector<ProgressEvent> HitEvents;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    RS.Serial = ++LastSerial;
+    ++NumActive;
+    std::vector<size_t> Owned;
+    for (size_t I = 0; I < RS.Total; ++I) {
+      RS.Keys[I] = sweepPointKey(Req, Prep.Configs[I]);
+      SweepPoint Hit;
+      if (Store.lookup(RS.Keys[I], Hit)) {
+        Hit.Method = SweepMethod::Store;
+        RS.Points[I] = std::move(Hit);
+        ++Resp.StoreHits;
+        HitEvents.push_back(
+            makeEvent(RS.Serial, RS.Total, I, RS.Points[I]));
+        continue;
+      }
+      auto It = InFlight.find(RS.Keys[I]);
+      if (It != InFlight.end()) {
+        // Someone -- another request, or an earlier duplicate point of
+        // this very grid -- is already computing this key: subscribe.
+        It->second->Subscribers.emplace_back(&RS, I);
+        ++RS.PendingSubscriptions;
+        RS.SubscribedKeys.push_back(RS.Keys[I]);
+        ++Resp.InFlightHits;
+        continue;
+      }
+      InFlight.emplace(RS.Keys[I], std::make_unique<PointState>());
+      Owned.push_back(I);
+    }
+    Resp.StoreMisses = Owned.size();
+    if (!Owned.empty()) {
+      std::vector<HierarchyConfig> OwnedCfgs;
+      OwnedCfgs.reserve(Owned.size());
+      for (size_t I : Owned)
+        OwnedCfgs.push_back(Prep.Configs[I]);
+      for (const std::vector<size_t> &G :
+           partitionSweepGroups(OwnedCfgs)) {
+        Job J;
+        J.Owner = &RS;
+        J.PointIdx.reserve(G.size());
+        J.Configs.reserve(G.size());
+        for (size_t K : G) {
+          J.PointIdx.push_back(Owned[K]);
+          J.Configs.push_back(OwnedCfgs[K]);
+        }
+        RS.Queue.push_back(std::move(J));
+      }
+      RS.JobsOutstanding = RS.Queue.size();
+      RoundRobin.push_back(&RS);
+    }
+    RS.Merged.Threads = PoolThreads;
+  }
+  WorkCv.notify_all();
+
+  // Progress always fires on this (the connection's) thread, outside
+  // the lock: a slow or dead socket stalls this request only.
+  bool Alive = true;
+  auto Fire = [&](const ProgressEvent &E) {
+    if (OnProgress && !OnProgress(E))
+      return false;
+    return !(IsCancelled && IsCancelled());
+  };
+  if (IsCancelled && IsCancelled())
+    Alive = false;
+  for (const ProgressEvent &E : HitEvents) {
+    if (!Alive)
+      break;
+    Alive = Fire(E);
+  }
+
+  std::unique_lock<std::mutex> L(Mu);
+  for (;;) {
+    if (!Alive && !RS.Cancelled)
+      cancelLocked(RS);
+    if (!RS.Ready.empty()) {
+      std::vector<ProgressEvent> Batch;
+      Batch.swap(RS.Ready);
+      if (Alive) {
+        L.unlock();
+        for (const ProgressEvent &E : Batch) {
+          if (!Alive)
+            break;
+          Alive = Fire(E);
+        }
+        L.lock();
+      }
+      continue;
+    }
+    if (RS.JobsOutstanding == 0 && RS.PendingSubscriptions == 0)
+      break;
+    // Wake on results; time-bounded so IsCancelled is polled even when
+    // nothing completes (a silent disconnect must still cancel).
+    bool TimedOut = RS.Cv.wait_for(L, std::chrono::milliseconds(20)) ==
+                    std::cv_status::timeout;
+    if (TimedOut && Alive && IsCancelled) {
+      L.unlock();
+      bool Gone = IsCancelled();
+      L.lock();
+      if (Gone)
+        Alive = false;
+    }
+  }
+
+  ++Counters.RequestsServed;
+  Counters.StoreHits += Resp.StoreHits;
+  Counters.InFlightHits += Resp.InFlightHits;
+  --NumActive;
+  Resp.StoreEntries = Store.numEntries();
+  if (!Alive) {
+    Resp.Error = "cancelled: client disconnected";
+    return Resp;
+  }
+  SweepReport Merged = std::move(RS.Merged);
+  Merged.Points = std::move(RS.Points);
+  L.unlock();
+  Resp.Ok = true;
+  Resp.Sweep = makeSweepDoc("wcs-serve", Req.programLabel(),
+                            Req.sizeLabel(), Merged);
+  return Resp;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  Stats S = Counters;
+  S.ActiveRequests = NumActive;
+  S.QueuedJobs = 0;
+  for (const RequestState *RS : RoundRobin)
+    S.QueuedJobs += RS->Queue.size();
+  S.StoreEntries = Store.numEntries();
+  return S;
+}

@@ -7,10 +7,17 @@
 
 #include "wcs/serve/Server.h"
 
+#include "wcs/serve/Scheduler.h"
 #include "wcs/support/JsonReader.h"
 
+#include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -47,9 +54,15 @@ SweepResponse wcs::serveSweepRequest(
       Hit.Method = SweepMethod::Store;
       Points[I] = std::move(Hit);
       ++Resp.StoreHits;
-      if (OnProgress)
-        OnProgress({I, Total, Prep.Configs[I].str(),
-                    SweepMethod::Store, Points[I].Ok});
+      if (OnProgress) {
+        ProgressEvent E;
+        E.Point = I;
+        E.Total = Total;
+        E.Cache = Prep.Configs[I].str();
+        E.Method = SweepMethod::Store;
+        E.Ok = Points[I].Ok;
+        OnProgress(E);
+      }
     } else {
       MissIdx.push_back(I);
     }
@@ -73,9 +86,15 @@ SweepResponse wcs::serveSweepRequest(
       Points[I] = Merged.Points[J];
       if (Points[I].Ok)
         Store.insert(Keys[I], Points[I], nullptr);
-      if (OnProgress)
-        OnProgress({I, Total, Prep.Configs[I].str(), Points[I].Method,
-                    Points[I].Ok});
+      if (OnProgress) {
+        ProgressEvent E;
+        E.Point = I;
+        E.Total = Total;
+        E.Cache = Prep.Configs[I].str();
+        E.Method = Points[I].Method;
+        E.Ok = Points[I].Ok;
+        OnProgress(E);
+      }
     }
   }
   Merged.Points = std::move(Points);
@@ -93,15 +112,33 @@ SweepResponse wcs::serveSweepRequest(
 
 namespace {
 
-/// Serves one accepted connection; returns false when the client asked
-/// for shutdown.
-bool serveConnection(int Fd, ResultStore &Store, unsigned Threads) {
+/// Everything the connection threads share with the accept loop.
+struct ServerState {
+  Scheduler *Sched = nullptr;
+  unsigned MaxConnections = 0; ///< 0 = unlimited.
+  int ListenFd = -1;
+
+  std::mutex Mu;
+  std::condition_variable Cv; ///< Capacity freed / shutdown requested.
+  unsigned Active = 0;
+  bool ShuttingDown = false;
+
+  struct ConnSlot {
+    std::thread T;
+    std::atomic<bool> Done{false};
+  };
+  std::list<std::unique_ptr<ConnSlot>> Conns;
+};
+
+/// Serves one accepted connection on its own thread: one line in, the
+/// progress stream and one response (or a control ack) out.
+void serveConnection(int Fd, ServerState &S) {
   LineReader Reader(Fd);
   std::string Line, Err;
   if (!Reader.readLine(Line, &Err)) {
     if (!Err.empty())
       std::fprintf(stderr, "wcs-serve: %s\n", Err.c_str());
-    return true; // Client went away; keep serving.
+    return; // Client went away before sending anything.
   }
 
   Value V;
@@ -111,41 +148,111 @@ bool serveConnection(int Fd, ResultStore &Store, unsigned Threads) {
       !jsonfield::needString(V, "schema", Schema, &Err)) {
     Resp.Error = "malformed request: " + Err;
     sendLine(Fd, toJson(Resp).dump(false), nullptr);
-    return true;
+    return;
   }
 
   if (Schema == ControlSchemaName) {
     std::string Cmd;
+    jsonfield::needString(V, "cmd", Cmd, nullptr);
     Value Ack = Value::object();
     Ack.set("schema", ControlSchemaName);
     Ack.set("schema_version", ServeProtocolVersion);
-    bool Shutdown = jsonfield::needString(V, "cmd", Cmd, nullptr) &&
-                    Cmd == "shutdown";
+    if (Cmd == "status") {
+      Scheduler::Stats St = S.Sched->stats();
+      Ack.set("ok", true);
+      Ack.set("requests_served", St.RequestsServed);
+      Ack.set("points_computed", St.PointsComputed);
+      Ack.set("store_hits", St.StoreHits);
+      Ack.set("inflight_hits", St.InFlightHits);
+      Ack.set("cancelled_jobs", St.CancelledJobs);
+      Ack.set("active_requests", St.ActiveRequests);
+      Ack.set("queued_jobs", St.QueuedJobs);
+      Ack.set("store_entries", St.StoreEntries);
+      {
+        std::lock_guard<std::mutex> L(S.Mu);
+        // This connection is one of the active ones.
+        Ack.set("active_connections", static_cast<uint64_t>(S.Active));
+      }
+      Ack.set("max_connections",
+              static_cast<uint64_t>(S.MaxConnections));
+      sendLine(Fd, Ack.dump(false), nullptr);
+      return;
+    }
+    bool Shutdown = Cmd == "shutdown";
     Ack.set("ok", Shutdown);
     sendLine(Fd, Ack.dump(false), nullptr);
-    return !Shutdown;
+    if (Shutdown) {
+      {
+        std::lock_guard<std::mutex> L(S.Mu);
+        S.ShuttingDown = true;
+      }
+      S.Cv.notify_all();
+      // Unblock the accept loop; a shut-down listener fails accept.
+      ::shutdown(S.ListenFd, SHUT_RDWR);
+    }
+    return;
   }
 
   SweepRequest Req;
   if (!fromJson(V, Req, &Err)) {
     Resp.Error = Err;
     sendLine(Fd, toJson(Resp).dump(false), nullptr);
-    return true;
+    return;
   }
 
-  Resp = serveSweepRequest(Req, Store, Threads,
-                           [Fd](const ProgressEvent &E) {
-                             sendLine(Fd, toJson(E).dump(false), nullptr);
-                           });
+  // A watcher thread blocks on the (otherwise idle) read side of the
+  // socket: EOF there means the client is gone, which cancels the
+  // request even while no progress line is due. The progress callback
+  // doubles as a second disconnect detector -- a failed send (EPIPE)
+  // also cancels.
+  std::atomic<bool> Gone{false};
+  std::thread Watch([Fd, &Gone] {
+    char Buf[256];
+    for (;;) {
+      ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+      if (N > 0)
+        continue; // Protocol violation (nothing follows the request
+                  // line); ignore rather than misread it as an EOF.
+      if (N < 0 && errno == EINTR)
+        continue;
+      break; // EOF or error: the peer is gone, or we are done with it.
+    }
+    Gone.store(true);
+  });
+
+  Resp = S.Sched->serve(
+      Req,
+      [Fd](const ProgressEvent &E) {
+        return sendLine(Fd, toJson(E).dump(false), nullptr);
+      },
+      [&Gone] { return Gone.load(); });
   sendLine(Fd, toJson(Resp).dump(false), nullptr);
+  // Wake the watcher (its recv returns 0 once the read side shuts) and
+  // reap it before the fd closes.
+  ::shutdown(Fd, SHUT_RDWR);
+  Watch.join();
+
   std::fprintf(stderr,
-               "wcs-serve: %s %s: %llu hits, %llu misses, store %llu "
-               "entries\n",
+               "wcs-serve: %s %s: %llu hits, %llu misses, %llu "
+               "in-flight, store %llu entries\n",
                Req.programLabel().c_str(), Resp.Ok ? "ok" : "FAILED",
                static_cast<unsigned long long>(Resp.StoreHits),
                static_cast<unsigned long long>(Resp.StoreMisses),
+               static_cast<unsigned long long>(Resp.InFlightHits),
                static_cast<unsigned long long>(Resp.StoreEntries));
-  return true;
+}
+
+/// Joins and forgets every finished connection thread. Called with
+/// S.Mu held.
+void reapLocked(ServerState &S) {
+  for (auto It = S.Conns.begin(); It != S.Conns.end();) {
+    if ((*It)->Done.load()) {
+      (*It)->T.join();
+      It = S.Conns.erase(It);
+    } else {
+      ++It;
+    }
+  }
 }
 
 } // namespace
@@ -163,32 +270,92 @@ bool wcs::runServer(const ServerOptions &Opts,
   int Listen = listenUnix(Opts.SocketPath, Err);
   if (Listen < 0)
     return false;
-  std::fprintf(stderr, "wcs-serve: listening on %s (%zu stored entries)\n",
-               Opts.SocketPath.c_str(), Store.numEntries());
+
+  // From here on the store belongs to the scheduler: every lookup and
+  // insert -- from any connection -- goes through its lock.
+  Scheduler Sched(Store, Opts.Threads);
+  ServerState St;
+  St.Sched = &Sched;
+  St.MaxConnections = Opts.MaxConnections;
+  St.ListenFd = Listen;
+
+  std::fprintf(stderr,
+               "wcs-serve: listening on %s (%zu stored entries, %u "
+               "workers, %u connections max)\n",
+               Opts.SocketPath.c_str(), Store.numEntries(),
+               Sched.threads(), Opts.MaxConnections);
   if (OnReady)
     OnReady();
 
   for (;;) {
+    {
+      std::unique_lock<std::mutex> L(St.Mu);
+      St.Cv.wait(L, [&] {
+        return St.ShuttingDown || St.MaxConnections == 0 ||
+               St.Active < St.MaxConnections;
+      });
+      reapLocked(St);
+      if (St.ShuttingDown)
+        break;
+    }
     int Fd = ::accept(Listen, nullptr, nullptr);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
+      std::lock_guard<std::mutex> L(St.Mu);
+      if (St.ShuttingDown)
+        break;
       if (Err)
         *Err = "accept failed";
-      closeFd(Listen);
-      ::unlink(Opts.SocketPath.c_str());
-      return false;
-    }
-    bool KeepServing = serveConnection(Fd, Store, Opts.Threads);
-    closeFd(Fd);
-    if (!KeepServing)
+      // Fall through to the drain below so in-flight requests finish.
+      St.ShuttingDown = true;
       break;
+    }
+    std::lock_guard<std::mutex> L(St.Mu);
+    if (St.ShuttingDown) {
+      closeFd(Fd);
+      break;
+    }
+    ++St.Active;
+    auto Slot = std::make_unique<ServerState::ConnSlot>();
+    ServerState::ConnSlot *SP = Slot.get();
+    St.Conns.push_back(std::move(Slot));
+    SP->T = std::thread([Fd, SP, &St] {
+      serveConnection(Fd, St);
+      closeFd(Fd);
+      {
+        std::lock_guard<std::mutex> CL(St.Mu);
+        --St.Active;
+        SP->Done.store(true);
+      }
+      St.Cv.notify_all();
+    });
+  }
+
+  // Drain: every connection thread finishes its request (the shutdown
+  // ack'ed connection included) before the scheduler and store go away.
+  for (;;) {
+    std::unique_ptr<ServerState::ConnSlot> Slot;
+    {
+      std::lock_guard<std::mutex> L(St.Mu);
+      if (St.Conns.empty())
+        break;
+      Slot = std::move(St.Conns.front());
+      St.Conns.pop_front();
+    }
+    Slot->T.join();
   }
   closeFd(Listen);
   ::unlink(Opts.SocketPath.c_str());
-  std::fprintf(stderr, "wcs-serve: shut down (%llu hits / %llu misses "
-                       "served)\n",
-               static_cast<unsigned long long>(Store.hits()),
-               static_cast<unsigned long long>(Store.misses()));
+  Scheduler::Stats Final = Sched.stats();
+  std::fprintf(stderr,
+               "wcs-serve: shut down (%llu requests: %llu store hits, "
+               "%llu in-flight hits, %llu points computed, %llu jobs "
+               "cancelled)\n",
+               static_cast<unsigned long long>(Final.RequestsServed),
+               static_cast<unsigned long long>(Final.StoreHits),
+               static_cast<unsigned long long>(Final.InFlightHits),
+               static_cast<unsigned long long>(Final.PointsComputed),
+               static_cast<unsigned long long>(Final.CancelledJobs));
   return true;
 }

@@ -18,6 +18,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <random>
 #include <stdexcept>
 
@@ -212,6 +215,80 @@ TEST(BatchRunner, ProgressSeesEveryJobExactlyOnce) {
   ASSERT_TRUE(Rep.allOk());
   for (unsigned Count : Seen)
     EXPECT_EQ(Count, 1u);
+}
+
+TEST(BatchRunner, PersistentPoolDrainsASharedQueue) {
+  // The scheduler-style use: workers loop a caller-owned Next until it
+  // says retire. Every queued task runs exactly once, on some worker,
+  // and stopPool() returns only after all of them did.
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<int> Queue;
+  bool Stop = false;
+  std::atomic<unsigned> Ran{0};
+  std::atomic<unsigned> MaxSeen{0};
+
+  BatchRunner Runner(4);
+  Runner.startPool([&](std::function<void()> &Task) {
+    std::unique_lock<std::mutex> L(Mu);
+    Cv.wait(L, [&] { return Stop || !Queue.empty(); });
+    if (Queue.empty())
+      return false;
+    int V = Queue.front();
+    Queue.pop_front();
+    Task = [&, V] {
+      ++Ran;
+      unsigned Cur = static_cast<unsigned>(V);
+      unsigned Prev = MaxSeen.load();
+      while (Prev < Cur && !MaxSeen.compare_exchange_weak(Prev, Cur))
+        ;
+    };
+    return true;
+  });
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    for (int I = 0; I < 64; ++I)
+      Queue.push_back(I);
+  }
+  Cv.notify_all();
+  // Retire: workers drain the queue first (Next only returns false on
+  // empty), then see Stop.
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stop = true;
+  }
+  Cv.notify_all();
+  Runner.stopPool();
+  EXPECT_EQ(Ran.load(), 64u);
+  EXPECT_EQ(MaxSeen.load(), 63u);
+  EXPECT_TRUE(Queue.empty());
+
+  // A stopped pool restarts cleanly on the same runner.
+  std::atomic<unsigned> Again{0};
+  std::atomic<bool> Once{true};
+  Runner.startPool([&](std::function<void()> &Task) {
+    if (!Once.exchange(false))
+      return false;
+    Task = [&] { ++Again; };
+    return true;
+  });
+  Runner.stopPool();
+  EXPECT_EQ(Again.load(), 1u);
+}
+
+TEST(BatchRunner, PoolDestructorJoinsRetiredWorkers) {
+  // A runner whose Next immediately retires every worker must be safe
+  // to destroy without an explicit stopPool().
+  std::atomic<unsigned> Polled{0};
+  {
+    BatchRunner Runner(3);
+    Runner.startPool([&](std::function<void()> &) {
+      ++Polled;
+      return false;
+    });
+  }
+  EXPECT_EQ(Polled.load(), 3u);
 }
 
 TEST(BatchRunner, PolybenchKernelAcrossThreadCounts) {

@@ -211,6 +211,48 @@ TEST(ResultsJson, BatchResultRoundTrip) {
   expectStatsEq(Out.Stats, R.Stats);
 }
 
+TEST(ResultsJson, EntrySamplesRoundTripAndStayOptional) {
+  ResultEntry E;
+  E.Tag = "bench/gemm";
+  E.Cache = HierarchyConfig::singleLevel(CacheConfig::scaledL1());
+  E.Ok = true;
+  E.Stats.NumLevels = 1;
+  E.Stats.Seconds = 0.2;
+  E.Samples = {0.25, 0.2, 0.15};
+  ResultEntry Out = reserialized(E);
+  ASSERT_EQ(Out.Samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(Out.Samples[0], 0.25);
+  EXPECT_DOUBLE_EQ(Out.Samples[1], 0.2);
+  EXPECT_DOUBLE_EQ(Out.Samples[2], 0.15);
+
+  // Single-sample producers leave Samples empty and the key is omitted
+  // entirely, so single-rep output is byte-identical to pre-reps files.
+  E.Samples.clear();
+  Value Single = toJson(E);
+  EXPECT_EQ(Single.find("samples"), nullptr);
+
+  // A baseline written before the key existed still parses (and a stale
+  // Samples vector in Out must not leak through the parse).
+  std::string Err;
+  ResultEntry Legacy = Out;
+  ASSERT_TRUE(fromJson(Single, Legacy, &Err)) << Err;
+  EXPECT_TRUE(Legacy.Samples.empty());
+
+  // Malformed samples fail loudly rather than gating on garbage.
+  Value Bad = Single;
+  Bad.set("samples", "not-an-array");
+  EXPECT_FALSE(fromJson(Bad, Legacy, &Err));
+  EXPECT_NE(Err.find("samples"), std::string::npos);
+
+  Value BadElem = Single;
+  Value Arr = Value::array();
+  Arr.push(Value(1.0));
+  Arr.push(Value("fast"));
+  BadElem.set("samples", std::move(Arr));
+  EXPECT_FALSE(fromJson(BadElem, Legacy, &Err));
+  EXPECT_NE(Err.find("samples"), std::string::npos);
+}
+
 TEST(ResultsJson, DocFromRealBatchRoundTrip) {
   // Run a real two-job batch (warping + concrete on a mini kernel) and
   // push the whole report through the file format.

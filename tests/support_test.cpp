@@ -8,6 +8,7 @@
 #include "wcs/support/Hashing.h"
 #include "wcs/support/IterVec.h"
 #include "wcs/support/MathUtil.h"
+#include "wcs/support/Stats.h"
 #include "wcs/support/StringUtil.h"
 
 #include <gtest/gtest.h>
@@ -169,4 +170,51 @@ TEST(StringUtil, ParseParamBinding) {
   EXPECT_FALSE(parseParamBinding("N", Name, V));
   EXPECT_FALSE(parseParamBinding("N=abc", Name, V));
   EXPECT_FALSE(parseParamBinding("N=", Name, V));
+}
+
+TEST(Stats, GeoMeanSkipsNonPositiveSamples) {
+  GeoMean G;
+  EXPECT_EQ(G.count(), 0u);
+  EXPECT_DOUBLE_EQ(G.value(), 0.0);
+  G.add(2.0);
+  G.add(8.0);
+  G.add(0.0);  // Skipped: would collapse the product.
+  G.add(-3.0); // Skipped.
+  EXPECT_EQ(G.count(), 2u);
+  EXPECT_DOUBLE_EQ(G.value(), 4.0); // sqrt(2 * 8)
+}
+
+TEST(Stats, MeanStddevMatchesClosedForm) {
+  MeanStddev M;
+  EXPECT_EQ(M.count(), 0u);
+  EXPECT_DOUBLE_EQ(M.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(M.stddev(), 0.0);
+
+  // One sample: a mean but no spread estimate.
+  M.add(0.5);
+  EXPECT_EQ(M.count(), 1u);
+  EXPECT_DOUBLE_EQ(M.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(M.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(M.stderror(), 0.0);
+
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample stddev sqrt(32/7).
+  MeanStddev K;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    K.add(V);
+  EXPECT_EQ(K.count(), 8u);
+  EXPECT_DOUBLE_EQ(K.mean(), 5.0);
+  EXPECT_NEAR(K.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(K.stderror(), std::sqrt(32.0 / 7.0) / std::sqrt(8.0), 1e-12);
+}
+
+TEST(Stats, MeanStddevIsStableAroundALargeOffset) {
+  // Welford's algorithm must not lose the spread to cancellation when
+  // the values sit on a huge common offset (the naive sum-of-squares
+  // formula returns garbage here).
+  MeanStddev M;
+  const double Offset = 1e9;
+  for (double V : {4.0, 7.0, 13.0, 16.0})
+    M.add(Offset + V);
+  EXPECT_NEAR(M.mean(), Offset + 10.0, 1e-3);
+  EXPECT_NEAR(M.stddev(), std::sqrt(30.0), 1e-6);
 }

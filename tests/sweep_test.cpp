@@ -193,6 +193,143 @@ TEST(Sweep, BankDegeneratesToFullyAssociativeProfiler) {
 }
 
 //===----------------------------------------------------------------------===//
+// Sub-sweep partitioning (the scheduler's job seams)
+//===----------------------------------------------------------------------===//
+
+TEST(SweepPartition, GroupsCoverEveryIndexAlongMethodSeams) {
+  CacheConfig Lru{4096, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig Lru2 = Lru;
+  Lru2.SizeBytes = 8192;
+  CacheConfig Fifo = Lru;
+  Fifo.Policy = PolicyKind::Fifo;
+  CacheConfig L2{32768, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig Invalid;
+  Invalid.SizeBytes = 100; // Not set-aligned: validate() rejects it.
+
+  std::vector<HierarchyConfig> Grid = {
+      HierarchyConfig::singleLevel(Lru),      // 0: sd
+      HierarchyConfig::singleLevel(Fifo),     // 1: sim
+      HierarchyConfig::twoLevel(Lru, L2),     // 2: fs (L1 = Lru)
+      HierarchyConfig::singleLevel(Lru2),     // 3: sd, with 0
+      HierarchyConfig::singleLevel(Fifo),     // 4: sim, dup of 1
+      HierarchyConfig::twoLevel(Lru2, L2),    // 5: fs (L1 = Lru2)
+      HierarchyConfig::twoLevel(Lru, L2),     // 6: fs, with 2
+      HierarchyConfig::singleLevel(Invalid),  // 7: its own group
+  };
+  std::vector<std::vector<size_t>> Groups = partitionSweepGroups(Grid);
+
+  // A partition: every input index in exactly one group.
+  std::vector<unsigned> Seen(Grid.size(), 0);
+  for (const auto &G : Groups)
+    for (size_t I : G)
+      ++Seen.at(I);
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_EQ(Seen[I], 1u) << "index " << I;
+
+  auto groupOf = [&](size_t I) -> const std::vector<size_t> & {
+    for (const auto &G : Groups)
+      for (size_t J : G)
+        if (J == I)
+          return G;
+    static const std::vector<size_t> None;
+    return None;
+  };
+  // Both LRU capacities share one stack-distance pass; the two-level
+  // points group by their L1 stream; identical sim configs share a job.
+  EXPECT_EQ(groupOf(0), groupOf(3));
+  EXPECT_EQ(groupOf(2), groupOf(6));
+  EXPECT_NE(groupOf(2), groupOf(5));
+  EXPECT_EQ(groupOf(1), groupOf(4));
+  EXPECT_EQ(groupOf(7).size(), 1u); // Invalid: isolated, still covered.
+}
+
+TEST(SweepPartition, GroupedSubSweepsMatchOneCombinedSweep) {
+  // The invariant the concurrent scheduler rests on: running each
+  // partition group as its own runSweep call and merging the reports
+  // is bit-identical per point to one combined call.
+  std::mt19937 Rng(20220613);
+  ScopProgram P = generateProgram(Rng);
+  CacheConfig Lru{4096, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  CacheConfig Lru2 = Lru;
+  Lru2.SizeBytes = 2048;
+  CacheConfig Fifo = Lru;
+  Fifo.Policy = PolicyKind::Fifo;
+  CacheConfig Plru = Lru;
+  Plru.Policy = PolicyKind::Plru;
+  CacheConfig L2{32768, 8, 64, PolicyKind::Lru, WriteAllocate::Yes};
+  std::vector<HierarchyConfig> Grid = {
+      HierarchyConfig::singleLevel(Lru),
+      HierarchyConfig::singleLevel(Fifo),
+      HierarchyConfig::twoLevel(Lru, L2),
+      HierarchyConfig::singleLevel(Lru2),
+      HierarchyConfig::singleLevel(Plru),
+      HierarchyConfig::twoLevel(Lru2, L2),
+  };
+
+  SweepOptions SO;
+  SO.Threads = 1;
+  SweepReport Combined = runSweep(P, Grid, SO);
+  ASSERT_TRUE(Combined.allOk());
+
+  std::vector<SweepPoint> Points(Grid.size());
+  SweepReport Merged;
+  for (const std::vector<size_t> &G : partitionSweepGroups(Grid)) {
+    std::vector<HierarchyConfig> Sub;
+    for (size_t I : G)
+      Sub.push_back(Grid[I]);
+    SweepReport Rep = runSweep(P, Sub, SO);
+    for (size_t K = 0; K < G.size(); ++K)
+      Points[G[K]] = Rep.Points[K];
+    mergeSweepReports(Merged, Rep);
+  }
+
+  for (size_t I = 0; I < Grid.size(); ++I) {
+    SweepPoint A = Combined.Points[I], B = Points[I];
+    A.Stats.Seconds = B.Stats.Seconds = 0.0;
+    EXPECT_EQ(toJson(A).dump(false), toJson(B).dump(false))
+        << "point " << I << " " << Grid[I].str();
+  }
+  // The merged cost figures describe the same partition: same pass
+  // counts and method population, whatever the timing.
+  EXPECT_EQ(Merged.StackDistancePoints, Combined.StackDistancePoints);
+  EXPECT_EQ(Merged.FilteredPoints, Combined.FilteredPoints);
+  EXPECT_EQ(Merged.NumBanks, Combined.NumBanks);
+  EXPECT_EQ(Merged.FilteredGroups, Combined.FilteredGroups);
+  EXPECT_EQ(Merged.SimulatedJobs, Combined.SimulatedJobs);
+}
+
+TEST(SweepPartition, MergeSumsAdditiveFiguresAndOrsFlags) {
+  SweepReport A, B;
+  A.TracePassSeconds = 1.0;
+  A.TraceAccesses = 100;
+  A.NumBanks = 2;
+  A.StackDistancePoints = 3;
+  A.SimulatedJobs = 1;
+  A.DemotedL1s = {"l1-a"};
+  B.TracePassSeconds = 0.5;
+  B.TraceAccesses = 250; // Larger shared pass: max wins, not sum.
+  B.PeriodicPass = true;
+  B.PeriodicWarps = 7;
+  B.FilteredPoints = 4;
+  B.DemotedL1s = {"l1-b"};
+
+  SweepReport Into;
+  mergeSweepReports(Into, A);
+  mergeSweepReports(Into, B);
+  EXPECT_DOUBLE_EQ(Into.TracePassSeconds, 1.5);
+  EXPECT_EQ(Into.TraceAccesses, 250u);
+  EXPECT_EQ(Into.NumBanks, 2u);
+  EXPECT_EQ(Into.StackDistancePoints, 3u);
+  EXPECT_EQ(Into.SimulatedJobs, 1u);
+  EXPECT_TRUE(Into.PeriodicPass);
+  EXPECT_EQ(Into.PeriodicWarps, 7u);
+  EXPECT_EQ(Into.FilteredPoints, 4u);
+  ASSERT_EQ(Into.DemotedL1s.size(), 2u);
+  EXPECT_EQ(Into.DemotedL1s[0], "l1-a");
+  EXPECT_EQ(Into.DemotedL1s[1], "l1-b");
+}
+
+//===----------------------------------------------------------------------===//
 // Grid syntax
 //===----------------------------------------------------------------------===//
 

@@ -57,7 +57,11 @@ void usage() {
       "  --check          gate: exit 1 on any miss/access drift, on\n"
       "                   missing or failed entries, or on time regression\n"
       "  --threshold X    time gate: fail when geomean(current/baseline)\n"
-      "                   wall-time ratio exceeds X (default 1.25)\n"
+      "                   wall-time ratio exceeds X (default 1.25); when\n"
+      "                   either file carries per-rep samples (wcs-bench\n"
+      "                   --reps) the gate widens by the measured noise\n"
+      "                   (2 sigma of the geomean), so a noisy runner\n"
+      "                   cannot fail a genuinely unchanged build\n"
       "  --quiet          print only drifting entries and the summary\n"
       "With a single file (a wcs-sweep or wcs-response document),\n"
       "renders capacity-axis tables: misses vs swept-level capacity,\n"
@@ -96,6 +100,25 @@ bool clampSeconds(const char *Tag, const char *Which, double &S) {
                Tag, Which, S, MinGateSeconds);
   S = MinGateSeconds;
   return true;
+}
+
+/// One entry's wall-time distribution. Multi-sample entries (wcs-bench
+/// --reps) get a real mean/stddev; legacy single-sample entries degrade
+/// to {Stats.Seconds, 0} and contribute nothing to the noise allowance,
+/// so a pre-reps baseline gates exactly as it always did.
+struct Timing {
+  double Mean = 0.0;
+  double StdErr = 0.0; ///< Standard error OF THE MEAN, not per-sample.
+  unsigned N = 1;
+};
+
+Timing entryTiming(const ResultEntry &E) {
+  if (E.Samples.size() < 2)
+    return {E.Stats.Seconds, 0.0, 1};
+  MeanStddev MS;
+  for (double S : E.Samples)
+    MS.add(S);
+  return {MS.mean(), MS.stderror(), MS.count()};
 }
 
 /// True when the two runs produced identical counters (everything except
@@ -410,6 +433,10 @@ int main(int argc, char **argv) {
 
   size_t Compared = 0, Drifted = 0, Missing = 0, Failed = 0;
   GeoMean RatioMean;
+  // Log-space variance of the geomean ratio, accumulated from each
+  // pair's standard errors (first-order: Var[log(c/b)] ~ (se_c/c)^2 +
+  // (se_b/b)^2). Zero for sample-free files.
+  double SumVarLog = 0.0;
   for (const ResultEntry &B : Base.Entries) {
     const ResultEntry *C = Cur.find(B.Tag);
     if (!C) {
@@ -431,21 +458,29 @@ int main(int argc, char **argv) {
                         static_cast<int64_t>(totalMisses(B.Stats));
     // Every compared entry feeds the time gate: degenerate timings are
     // clamped (with a warning) instead of silently dropped or allowed
-    // to poison the geomean with NaN.
-    double BaseS = B.Stats.Seconds, CurS = C->Stats.Seconds;
+    // to poison the geomean with NaN. Multi-sample entries compare by
+    // their means and contribute their standard errors to the noise
+    // allowance.
+    Timing BaseT = entryTiming(B), CurT = entryTiming(*C);
+    double BaseS = BaseT.Mean, CurS = CurT.Mean;
     bool Clamped = clampSeconds(B.Tag.c_str(), "baseline", BaseS);
     Clamped |= clampSeconds(B.Tag.c_str(), "current", CurS);
     double Ratio = CurS / BaseS;
     if (Clamped)
       Ratio = std::min(std::max(Ratio, 1.0 / MaxGateRatio), MaxGateRatio);
     RatioMean.add(Ratio);
+    if (Ratio > 0 && !Clamped) {
+      double RelBase = BaseT.StdErr / BaseS, RelCur = CurT.StdErr / CurS;
+      SumVarLog += RelBase * RelBase + RelCur * RelCur;
+    }
     if (!Quiet || !Equal)
-      std::printf("%-40s %14llu %11lld %10.4f %10.4f %8.2fx%s\n",
+      std::printf("%-40s %14llu %11lld %10.4f %10.4f %8.2fx%s%s\n",
                   B.Tag.c_str(),
                   static_cast<unsigned long long>(
                       C->Stats.totalAccesses()),
-                  static_cast<long long>(MissDelta), B.Stats.Seconds,
-                  C->Stats.Seconds, Ratio > 0 ? 1.0 / Ratio : 0.0,
+                  static_cast<long long>(MissDelta), BaseT.Mean,
+                  CurT.Mean, Ratio > 0 ? 1.0 / Ratio : 0.0,
+                  BaseT.N > 1 || CurT.N > 1 ? "  (mean)" : "",
                   Equal ? "" : "  COUNTER DRIFT");
   }
 
@@ -456,12 +491,24 @@ int main(int argc, char **argv) {
 
   // Neutral 1.0 when no pair had usable timings (nothing to gate on).
   double GeoRatio = RatioMean.count() ? RatioMean.value() : 1.0;
+  // 2-sigma one-sided noise allowance on the geomean: with per-rep
+  // samples the gate only trips when the regression clears both the
+  // threshold AND what measurement noise alone could explain. Without
+  // samples SigmaGeo is 0 and the gate is exactly the classic one.
+  double SigmaGeo =
+      RatioMean.count() ? std::sqrt(SumVarLog) / RatioMean.count() : 0.0;
+  double Gate = Threshold * std::exp(2.0 * SigmaGeo);
   std::printf("\ncompared %zu entries: %zu counter drift(s), %zu missing, "
               "%zu failed, %zu new\n",
               Compared, Drifted, Missing, Failed, Extra);
   std::printf("geomean time ratio current/baseline: %.3f "
-              "(speedup %.2fx; gate threshold %.2f)\n",
-              GeoRatio, GeoRatio > 0 ? 1.0 / GeoRatio : 0.0, Threshold);
+              "(speedup %.2fx; gate threshold %.2f%s)\n",
+              GeoRatio, GeoRatio > 0 ? 1.0 / GeoRatio : 0.0, Threshold,
+              SigmaGeo > 0 ? " before noise allowance" : "");
+  if (SigmaGeo > 0)
+    std::printf("noise    geomean sigma %.4f from per-rep samples; "
+                "effective gate %.3f (threshold x 2-sigma allowance)\n",
+                SigmaGeo, Gate);
 
   if (!Check)
     return 0;
@@ -480,10 +527,10 @@ int main(int argc, char **argv) {
     std::printf("CHECK FAIL: %zu entries failed\n", Failed);
     Bad = true;
   }
-  if (GeoRatio > Threshold) {
-    std::printf("CHECK FAIL: geomean time ratio %.3f exceeds threshold "
-                "%.2f\n",
-                GeoRatio, Threshold);
+  if (GeoRatio > Gate) {
+    std::printf("CHECK FAIL: geomean time ratio %.3f exceeds %s %.3f\n",
+                GeoRatio,
+                SigmaGeo > 0 ? "noise-adjusted gate" : "threshold", Gate);
     Bad = true;
   }
   if (!Bad)

@@ -10,6 +10,7 @@
 //
 //   wcs-serve --socket /tmp/wcs.sock --store /var/lib/wcs/store.jsonl
 //   wcs-serve --client --socket /tmp/wcs.sock --request sweep.json
+//   wcs-serve --client --socket /tmp/wcs.sock --status
 //   wcs-serve --client --socket /tmp/wcs.sock --shutdown
 //   wcs-serve --compact --store /var/lib/wcs/store.jsonl --max-entries 10000
 //
@@ -40,14 +41,19 @@ void usage() {
       "  --socket PATH         Unix-domain socket to listen on (required)\n"
       "  --store PATH          persistent result store, a JSON-lines log\n"
       "                        (default: in-memory only)\n"
-      "  --jobs N              worker threads per request (default 0 = all\n"
-      "                        cores)\n"
+      "  --jobs N              scheduler worker threads shared by all\n"
+      "                        connections (default 0 = all cores)\n"
+      "  --max-connections N   connections served at once; further clients\n"
+      "                        wait in the listen backlog (default 8,\n"
+      "                        0 = unlimited)\n"
       "client mode:\n"
       "  --client              submit a request instead of serving\n"
       "  --request FILE        wcs-request document to submit (from\n"
       "                        wcs-sim --emit-request); the response\n"
       "                        document is printed to stdout\n"
       "  --out FILE            also write the response document to FILE\n"
+      "  --status              print the daemon's status counters to\n"
+      "                        stdout instead\n"
       "  --shutdown            ask the daemon to exit instead\n"
       "store maintenance:\n"
       "  --compact             rewrite the --store log in place: one line\n"
@@ -57,7 +63,7 @@ void usage() {
 }
 
 int runClient(const std::string &SocketPath, const std::string &RequestPath,
-              const std::string &OutPath, bool Shutdown) {
+              const std::string &OutPath, bool Shutdown, bool Status) {
   std::string Err;
   if (Shutdown) {
     if (!requestShutdown(SocketPath, &Err)) {
@@ -65,6 +71,16 @@ int runClient(const std::string &SocketPath, const std::string &RequestPath,
       return 1;
     }
     std::fprintf(stderr, "wcs-serve: daemon acknowledged shutdown\n");
+    return 0;
+  }
+  if (Status) {
+    json::Value Ack;
+    if (!requestStatus(SocketPath, Ack, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    // Same stdout contract as a request: exactly one document, pretty.
+    std::printf("%s\n", Ack.dump(true).c_str());
     return 0;
   }
 
@@ -134,8 +150,8 @@ int runCompact(const std::string &StorePath, uint64_t MaxEntries) {
 
 int main(int argc, char **argv) {
   std::string SocketPath, StorePath, RequestPath, OutPath;
-  bool Client = false, Shutdown = false, Compact = false;
-  unsigned Jobs = 0;
+  bool Client = false, Shutdown = false, Status = false, Compact = false;
+  unsigned Jobs = 0, MaxConnections = 8;
   uint64_t MaxEntries = 0;
 
   for (int I = 1; I < argc; ++I) {
@@ -160,6 +176,9 @@ int main(int argc, char **argv) {
     } else if (A == "--shutdown") {
       Shutdown = true;
       Client = true;
+    } else if (A == "--status") {
+      Status = true;
+      Client = true;
     } else if (A == "--compact") {
       Compact = true;
     } else if (A == "--jobs") {
@@ -168,6 +187,15 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "error: --jobs expects a non-negative number, got "
                      "'%s'\n",
+                     N);
+        return 2;
+      }
+    } else if (A == "--max-connections") {
+      const char *N = Next();
+      if (!parseJobCount(N, MaxConnections)) {
+        std::fprintf(stderr,
+                     "error: --max-connections expects a non-negative "
+                     "number, got '%s'\n",
                      N);
         return 2;
       }
@@ -204,18 +232,19 @@ int main(int argc, char **argv) {
     return 2;
   }
   if (Client) {
-    if (!Shutdown && RequestPath.empty()) {
-      std::fprintf(stderr,
-                   "error: --client needs --request FILE or --shutdown\n");
+    if (!Shutdown && !Status && RequestPath.empty()) {
+      std::fprintf(stderr, "error: --client needs --request FILE, "
+                           "--status, or --shutdown\n");
       return 2;
     }
-    return runClient(SocketPath, RequestPath, OutPath, Shutdown);
+    return runClient(SocketPath, RequestPath, OutPath, Shutdown, Status);
   }
 
   ServerOptions SO;
   SO.SocketPath = SocketPath;
   SO.StorePath = StorePath;
   SO.Threads = Jobs;
+  SO.MaxConnections = MaxConnections;
   std::string Err;
   if (!runServer(SO, nullptr, &Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
