@@ -52,8 +52,10 @@
 #include "wcs/driver/Sweep.h"
 #include "wcs/sim/ConcreteSimulator.h"
 #include "wcs/support/StringUtil.h"
+#include "wcs/support/Telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <iterator>
@@ -81,7 +83,22 @@ void usage() {
       "  --reps N         time the main batch N times (default 1); every\n"
       "                   entry records its per-rep wall-time samples and\n"
       "                   reports their mean, so wcs-report --check can\n"
-      "                   gate against measured noise instead of one draw\n");
+      "                   gate against measured noise instead of one draw\n"
+      "  --trace-json FILE\n"
+      "                   record spans and write a Chrome trace-event\n"
+      "                   file on exit (NOT for gated timings: the\n"
+      "                   tracer, while cheap, is not free)\n");
+}
+
+/// --trace-json sink, written via atexit so every exit path flushes.
+std::string TraceJsonPath;
+
+void writeTraceAtExit() {
+  std::string Err;
+  if (!telemetry::writeTraceFile(TraceJsonPath, &Err))
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+  else
+    std::fprintf(stderr, "trace: wrote %s\n", TraceJsonPath.c_str());
 }
 
 /// Builds each (kernel, size) program once; std::deque keeps addresses
@@ -234,6 +251,12 @@ int main(int argc, char **argv) {
                      N);
         return 2;
       }
+    } else if (A == "--trace-json") {
+      if (TraceJsonPath.empty()) {
+        telemetry::enableTracing();
+        std::atexit(writeTraceAtExit);
+      }
+      TraceJsonPath = Next();
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;

@@ -46,7 +46,9 @@ namespace wcs {
 
 inline constexpr const char ControlSchemaName[] = "wcs-control";
 inline constexpr const char ProgressSchemaName[] = "wcs-progress";
+inline constexpr const char StatusSchemaName[] = "wcs-status";
 inline constexpr int64_t ServeProtocolVersion = 1;
+inline constexpr int64_t StatusSchemaVersion = 1;
 
 /// One per-point progress notification.
 struct ProgressEvent {
@@ -65,6 +67,27 @@ struct ProgressEvent {
 
 json::Value toJson(const ProgressEvent &E);
 bool fromJson(const json::Value &V, ProgressEvent &Out, std::string *Err);
+
+/// The daemon's answer to the wcs-control "status" command: a
+/// schema-versioned wcs-status v1 document (rejection pinned in
+/// tests/json_reader_test.cpp alongside the other wire documents).
+/// Scheduler counters plus the server's connection and uptime figures.
+struct StatusDoc {
+  uint64_t RequestsServed = 0;
+  uint64_t PointsComputed = 0;
+  uint64_t StoreHits = 0;
+  uint64_t InFlightHits = 0;
+  uint64_t CancelledJobs = 0;
+  uint64_t ActiveRequests = 0;
+  uint64_t QueuedJobs = 0;
+  uint64_t StoreEntries = 0;
+  uint64_t ActiveConnections = 0;
+  uint64_t MaxConnections = 0;
+  double UptimeSeconds = 0.0;
+};
+
+json::Value toJson(const StatusDoc &D);
+bool fromJson(const json::Value &V, StatusDoc &Out, std::string *Err);
 
 //===----------------------------------------------------------------------===//
 // Socket plumbing (thin POSIX wrappers; fd < 0 = failure)
@@ -115,13 +138,10 @@ bool submitSweepRequest(const std::string &SocketPath,
 /// Asks the daemon to shut down and waits for its ack.
 bool requestShutdown(const std::string &SocketPath, std::string *Err);
 
-/// Asks the daemon for its status line (the wcs-control "status"
-/// command) and parses the ack -- a wcs-control object carrying the
-/// scheduler and store counters (requests_served, points_computed,
-/// store_hits, inflight_hits, cancelled_jobs, active_requests,
-/// queued_jobs, store_entries, active_connections, max_connections)
-/// -- into \p Out. Returns false on transport errors or a refused ack.
-bool requestStatus(const std::string &SocketPath, json::Value &Out,
+/// Asks the daemon for its status (the wcs-control "status" command)
+/// and parses the answer -- a wcs-status v1 document -- into \p Out.
+/// Returns false on transport errors or a malformed document.
+bool requestStatus(const std::string &SocketPath, StatusDoc &Out,
                    std::string *Err);
 
 } // namespace wcs

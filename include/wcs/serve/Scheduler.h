@@ -44,6 +44,7 @@
 #include "wcs/driver/BatchRunner.h"
 #include "wcs/serve/Protocol.h"
 #include "wcs/serve/ResultStore.h"
+#include "wcs/support/Telemetry.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -102,10 +103,19 @@ public:
   /// that points taken over from another in-flight request report
   /// method "store" (their counters land in the store the moment they
   /// are shared) and count toward SweepResponse::InFlightHits.
+  /// Per-request timing filled by serve() when the caller passes a
+  /// slot; the daemon's --log line reports these.
+  struct RequestTelemetry {
+    double QueueWaitSeconds = 0.0; ///< Summed over the request's jobs.
+    double ComputeSeconds = 0.0;   ///< Summed job compute time.
+    double WallSeconds = 0.0;      ///< serve() entry to exit.
+  };
+
   SweepResponse
   serve(const SweepRequest &Req,
         const std::function<bool(const ProgressEvent &)> &OnProgress,
-        const std::function<bool()> &IsCancelled = {});
+        const std::function<bool()> &IsCancelled = {},
+        RequestTelemetry *Tel = nullptr);
 
   Stats stats() const;
 
@@ -129,6 +139,7 @@ private:
     RequestState *Owner = nullptr;
     std::vector<size_t> PointIdx; ///< Owner grid indices, input order.
     std::vector<HierarchyConfig> Configs; ///< Parallel to PointIdx.
+    telemetry::TimePoint Enqueued; ///< For the queue-wait histogram.
   };
 
   /// A point some request is currently computing; other requests
@@ -155,6 +166,8 @@ private:
     std::condition_variable Cv;       ///< Signaled as results land.
     bool Cancelled = false;
     SweepReport Merged; ///< Accumulated per-job pass/partition figures.
+    double QueueWaitSeconds = 0.0; ///< Summed as workers dequeue.
+    double ComputeSeconds = 0.0;   ///< Summed as jobs complete.
   };
 
   bool nextJob(std::function<void()> &Task);

@@ -57,6 +57,10 @@ struct ServerOptions {
   /// Connections served at once; further clients wait in the listen
   /// backlog until a slot frees. 0 = unlimited.
   unsigned MaxConnections = 8;
+  /// JSON-lines request log: one compact object per served request
+  /// (hash, point counts, hit/miss split, queue wait, compute and wall
+  /// time, outcome), appended as each request finishes. Empty = off.
+  std::string LogPath;
 };
 
 /// The daemon: open the store, start the shared scheduler, listen, and

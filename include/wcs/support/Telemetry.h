@@ -1,0 +1,353 @@
+//===- wcs/support/Telemetry.h - Spans, metrics, one clock ------*- C++ -*-===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide telemetry subsystem behind `--trace-json`, the
+/// daemon's `--metrics`/`--status` documents, and every wall-time
+/// measurement in the engine. Three layers:
+///
+///  - THE clock. telemetry::now()/secondsSince()/secondsBetween() wrap
+///    one std::chrono::steady_clock so trace timestamps, bench
+///    samples and every *_seconds field in the result documents live
+///    in a single monotonic time domain. Nothing in wcs reads a clock
+///    any other way.
+///
+///  - A span tracer. Span is an RAII scope: construction timestamps,
+///    destruction records one completed span -- name, interval,
+///    key/value attributes -- into a per-thread ring buffer (fixed
+///    capacity, oldest event dropped on overflow, never torn). Rings
+///    are registered centrally and drained on demand, from any thread,
+///    while other threads keep tracing: drainTrace() merges every
+///    ring into a time-sorted snapshot, and writeTraceFile() renders
+///    it as Chrome trace-event JSON ("X" complete events, one lane per
+///    thread) that chrome://tracing and Perfetto load directly.
+///
+///  - A metrics registry: named monotonic counters, last-value gauges
+///    and fixed-bucket latency histograms, all safe to bump from any
+///    thread, plus per-name span aggregates (count, cumulative
+///    seconds) fed by the tracer. Registry::snapshot() packages
+///    everything as a schema-versioned wcs-metrics v1 document
+///    (toJson/fromJson below, rejection pinned in
+///    tests/json_reader_test.cpp) which wcs-report renders.
+///
+/// Everything is ZERO-COST WHEN OFF: tracing and span aggregation sit
+/// behind one relaxed atomic flag word, so a disabled Span is a load,
+/// a branch, and an empty destructor -- the hotloop bench gate runs
+/// with telemetry compiled in and measures no difference. Counters,
+/// gauges and histograms are always live; they are only ever touched
+/// at request/job/pass granularity, never per access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WCS_SUPPORT_TELEMETRY_H
+#define WCS_SUPPORT_TELEMETRY_H
+
+#include "wcs/support/Json.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wcs {
+namespace telemetry {
+
+//===----------------------------------------------------------------------===//
+// The clock
+//===----------------------------------------------------------------------===//
+
+/// The one time source of the whole project. Monotonic: immune to NTP
+/// steps and wall-clock changes, which is what makes span intervals
+/// and cross-thread timestamp comparisons meaningful.
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+inline TimePoint now() { return Clock::now(); }
+
+inline double secondsBetween(TimePoint From, TimePoint To) {
+  return std::chrono::duration<double>(To - From).count();
+}
+
+inline double secondsSince(TimePoint From) {
+  return secondsBetween(From, now());
+}
+
+//===----------------------------------------------------------------------===//
+// Enable flags
+//===----------------------------------------------------------------------===//
+
+/// Bit 0: record completed spans into the per-thread rings (the
+/// --trace-json path). Bit 1: fold completed spans into the registry's
+/// per-name aggregates (the wcs-metrics "spans" section). Either bit
+/// makes Span take timestamps; zero makes it a no-op.
+enum : unsigned { TraceSpans = 1u, AggregateSpans = 2u };
+
+namespace detail {
+inline std::atomic<unsigned> Flags{0};
+} // namespace detail
+
+inline unsigned flags() {
+  return detail::Flags.load(std::memory_order_relaxed);
+}
+
+/// Turns on span recording (TraceSpans | AggregateSpans) with
+/// \p RingCapacity events per thread (0 keeps the current capacity,
+/// default 8192). Sets the trace epoch on the first call; idempotent
+/// afterwards. Threads may already be running.
+void enableTracing(size_t RingCapacity = 0);
+
+/// Turns on span aggregation only: spans feed the wcs-metrics
+/// document but no ring buffers fill (the daemon's --metrics without
+/// --trace-json).
+void enableSpanAggregation();
+
+/// Stops span recording and aggregation and discards every ring.
+/// Counters/gauges/histograms are untouched. Tests use this to
+/// isolate suites; tools never call it.
+void disableTracing();
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+/// An RAII traced scope. \p Name must be a string literal (it is
+/// stored by pointer until the span completes). Cheap enough to put
+/// around every pass, job and request -- but NOT in per-access loops;
+/// granularity is the zero-cost contract.
+class Span {
+public:
+  Span() = default;
+  explicit Span(const char *Name) {
+    F = flags();
+    if (F == 0)
+      return;
+    this->Name = Name;
+    Start = now();
+  }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches a key/value attribute ("args" in the trace viewer).
+  /// No-op when telemetry is off.
+  void arg(const char *Key, std::string Value) {
+    if (F != 0)
+      Args.emplace_back(Key, std::move(Value));
+  }
+  void arg(const char *Key, uint64_t Value) {
+    if (F != 0)
+      Args.emplace_back(Key, std::to_string(Value));
+  }
+
+  /// Ends the span now instead of at scope exit; idempotent. For the
+  /// occasional scope that outlives the region being measured.
+  void end() {
+    if (F != 0)
+      finish();
+    F = 0;
+  }
+
+  ~Span() { end(); }
+
+private:
+  void finish();
+
+  const char *Name = nullptr;
+  TimePoint Start;
+  unsigned F = 0;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Names the calling thread's lane in the trace ("scheduler-worker-2",
+/// "conn"...). Cheap; callable before or after tracing is enabled.
+void setThreadName(std::string Name);
+
+//===----------------------------------------------------------------------===//
+// Draining
+//===----------------------------------------------------------------------===//
+
+/// One completed span as drained from the rings.
+struct DrainedSpan {
+  std::string Name;
+  unsigned Tid = 0; ///< Dense per-thread lane id, registration order.
+  std::string ThreadName;
+  double StartSeconds = 0.0; ///< Since the trace epoch.
+  double DurSeconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// A consistent snapshot of every thread's ring: spans sorted by
+/// (Tid, start, -duration) so a parent precedes its children, plus the
+/// count of spans lost to ring overflow (oldest-first per thread).
+struct TraceSnapshot {
+  std::vector<DrainedSpan> Spans;
+  uint64_t Dropped = 0;
+};
+
+/// Snapshots and CLEARS every ring (Dropped keeps accumulating);
+/// tracing continues. Safe to call while other threads record.
+TraceSnapshot drainTrace();
+
+/// Renders a snapshot as a Chrome trace-event JSON object
+/// ({"traceEvents": [...]}): thread_name metadata records plus one
+/// "X" complete event per span, timestamps in microseconds since the
+/// trace epoch. Loadable in Perfetto / chrome://tracing as-is.
+json::Value traceToJson(const TraceSnapshot &Snap);
+
+/// drainTrace + traceToJson + write to \p Path.
+bool writeTraceFile(const std::string &Path, std::string *Err);
+
+} // namespace telemetry
+
+//===----------------------------------------------------------------------===//
+// The wcs-metrics document
+//===----------------------------------------------------------------------===//
+
+inline constexpr const char MetricsSchemaName[] = "wcs-metrics";
+inline constexpr int64_t MetricsSchemaVersion = 1;
+
+/// A point-in-time snapshot of the registry, serialized like every
+/// other schema-versioned wcs document. Sections are sorted by name
+/// (the registry stores them that way), so two snapshots of the same
+/// state dump identically.
+struct MetricsDoc {
+  std::string Tool; ///< Producing tool ("wcs-serve").
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, double>> Gauges;
+  struct Hist {
+    std::string Name;
+    std::vector<double> Bounds;    ///< Ascending upper bounds.
+    std::vector<uint64_t> Counts;  ///< Bounds.size()+1 (last = overflow).
+    uint64_t Count = 0;            ///< Total observations.
+    double Sum = 0.0;              ///< Sum of observed values.
+  };
+  std::vector<Hist> Histograms;
+  struct SpanAgg {
+    std::string Name;
+    uint64_t Count = 0;
+    double TotalSeconds = 0.0;
+  };
+  std::vector<SpanAgg> Spans;
+
+  /// Value of counter \p Name, 0 when absent.
+  uint64_t counter(const std::string &Name) const;
+  /// Histogram \p Name, nullptr when absent.
+  const Hist *histogram(const std::string &Name) const;
+};
+
+json::Value toJson(const MetricsDoc &D);
+bool fromJson(const json::Value &V, MetricsDoc &Out, std::string *Err);
+bool writeMetricsFile(const std::string &Path, const MetricsDoc &D,
+                      std::string *Err);
+bool readMetricsFile(const std::string &Path, MetricsDoc &Out,
+                     std::string *Err);
+
+namespace telemetry {
+
+//===----------------------------------------------------------------------===//
+// The metrics registry
+//===----------------------------------------------------------------------===//
+
+/// A monotonic counter. add() is safe from any thread.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A last-value-wins gauge.
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// A fixed-bucket histogram: \p Bounds are ascending upper bounds, and
+/// an implicit overflow bucket catches everything above the last one.
+/// observe(X) lands X in the FIRST bucket with X <= bound (so a value
+/// exactly on a boundary belongs to that boundary's bucket -- pinned
+/// by tests). Thread-safe, lock-free.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> Bounds);
+
+  void observe(double X);
+
+  const std::vector<double> &bounds() const { return Bounds; }
+  /// Per-bucket counts, bounds().size()+1 entries.
+  std::vector<uint64_t> bucketCounts() const;
+  uint64_t count() const { return Num.load(std::memory_order_relaxed); }
+  double sum() const;
+
+private:
+  std::vector<double> Bounds;
+  std::vector<std::atomic<uint64_t>> Counts; ///< Bounds.size()+1.
+  std::atomic<uint64_t> Num{0};
+  std::atomic<double> Sum{0.0};
+};
+
+/// Decade buckets from 100us to 100s -- the default for request/job
+/// latency histograms. Sub-100us work is never a serving bottleneck,
+/// and a 7-bucket histogram stays readable in wcs-report.
+const std::vector<double> &defaultLatencyBounds();
+
+/// The process-wide named-metric registry. Lookup interns the name on
+/// first use and returns a reference that stays valid for the process
+/// lifetime -- hot paths look up once and keep the reference.
+class Registry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  /// \p Bounds apply on first creation only; later lookups of the same
+  /// name ignore them.
+  Histogram &histogram(const std::string &Name,
+                       const std::vector<double> &Bounds);
+
+  /// Folds one completed span into the per-name aggregates. The
+  /// tracer calls this; tests may too.
+  void recordSpan(const char *Name, double Seconds);
+
+  /// A consistent snapshot as a wcs-metrics document, sections sorted
+  /// by name.
+  MetricsDoc snapshot(std::string Tool) const;
+
+  Registry() = default;
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+private:
+  struct SpanAgg {
+    uint64_t Count = 0;
+    double TotalSeconds = 0.0;
+  };
+
+  mutable std::mutex Mu;
+  /// std::map: snapshot order is name order, deterministically.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::map<std::string, SpanAgg> SpanAggs;
+};
+
+/// The one registry every tool and the daemon share.
+Registry &registry();
+
+} // namespace telemetry
+} // namespace wcs
+
+#endif // WCS_SUPPORT_TELEMETRY_H

@@ -10,12 +10,12 @@
 #include "wcs/sim/ConcreteSimulator.h"
 #include "wcs/sim/WarpingSimulator.h"
 #include "wcs/support/StringUtil.h"
+#include "wcs/support/Telemetry.h"
 #include "wcs/trace/FilteredStream.h"
 #include "wcs/trace/StackDistance.h"
 #include "wcs/trace/TraceSimulator.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -102,6 +102,10 @@ BatchRunner::BatchRunner(unsigned NumThreads) : NumThreads(NumThreads) {
 }
 
 BatchResult BatchRunner::runJob(const BatchJob &Job, size_t JobIndex) {
+  telemetry::Span JobSpan("batch.job");
+  JobSpan.arg("tag", Job.Tag);
+  JobSpan.arg("backend",
+              Job.Filtered ? "replay" : backendName(Job.Backend));
   BatchResult R;
   R.JobIndex = JobIndex;
   R.Tag = Job.Tag;
@@ -198,7 +202,8 @@ void BatchRunner::startPool(
   PoolNext = std::move(Next);
   Pool.reserve(NumThreads);
   for (unsigned T = 0; T < NumThreads; ++T)
-    Pool.emplace_back([this] {
+    Pool.emplace_back([this, T] {
+      telemetry::setThreadName("worker-" + std::to_string(T));
       std::function<void()> Task;
       while (PoolNext(Task)) {
         Task();
@@ -262,7 +267,10 @@ BatchReport BatchRunner::run(const std::vector<BatchJob> &Jobs) {
   Report.Threads = static_cast<unsigned>(
       std::min<size_t>(NumThreads, std::max<size_t>(1, Jobs.size())));
 
-  auto T0 = std::chrono::steady_clock::now();
+  telemetry::Span RunSpan("batch.run");
+  RunSpan.arg("jobs", static_cast<uint64_t>(Jobs.size()));
+  RunSpan.arg("threads", static_cast<uint64_t>(Report.Threads));
+  telemetry::TimePoint T0 = telemetry::now();
 
   // One thunk per job over the shared fan-out: each task owns its
   // preallocated result slot, so only the progress callback needs the
@@ -280,8 +288,6 @@ BatchReport BatchRunner::run(const std::vector<BatchJob> &Jobs) {
     });
   runTasks(Tasks);
 
-  Report.WallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
-          .count();
+  Report.WallSeconds = telemetry::secondsSince(T0);
   return Report;
 }

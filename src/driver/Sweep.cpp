@@ -10,12 +10,12 @@
 #include "wcs/driver/Results.h"
 #include "wcs/support/JsonReader.h"
 #include "wcs/support/StringUtil.h"
+#include "wcs/support/Telemetry.h"
 #include "wcs/trace/FilteredStream.h"
 #include "wcs/trace/PeriodicPass.h"
 #include "wcs/trace/StackDistance.h"
 #include "wcs/trace/TraceGenerator.h"
 
-#include <chrono>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -94,7 +94,9 @@ std::string SweepReport::summary() const {
 SweepReport wcs::runSweep(const ScopProgram &Program,
                           const std::vector<HierarchyConfig> &Configs,
                           const SweepOptions &Opts) {
-  auto T0 = std::chrono::steady_clock::now();
+  telemetry::Span RunSpan("sweep.run");
+  RunSpan.arg("points", static_cast<uint64_t>(Configs.size()));
+  telemetry::TimePoint T0 = telemetry::now();
   SweepReport Rep;
   Rep.Points.resize(Configs.size());
 
@@ -140,6 +142,7 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
 
   std::vector<size_t> PlainSim; ///< Input indices needing a full job.
 
+  telemetry::Span PartitionSpan("sweep.partition");
   for (size_t I = 0; I < Configs.size(); ++I) {
     const HierarchyConfig &H = Configs[I];
     SweepPoint &P = Rep.Points[I];
@@ -198,6 +201,10 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
     P.Backend = Opts.Backend;
     PlainSim.push_back(I);
   }
+  PartitionSpan.arg("banks", static_cast<uint64_t>(Banks.size()));
+  PartitionSpan.arg("l1_groups", static_cast<uint64_t>(Groups.size()));
+  PartitionSpan.arg("plain_sim", static_cast<uint64_t>(PlainSim.size()));
+  PartitionSpan.end();
   Rep.NumBanks = static_cast<unsigned>(Banks.size());
   Rep.StackDistancePoints = Fast.size();
 
@@ -217,7 +224,7 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
   std::vector<PeriodicPassResult> PassResults;
   double PassProbeSeconds = 0.0;
   if (!Banks.empty()) {
-    auto P0 = std::chrono::steady_clock::now();
+    telemetry::TimePoint P0 = telemetry::now();
     TraceOptions TO;
     TO.IncludeScalars = Opts.Sim.IncludeScalars;
     bool Periodic = false;
@@ -241,9 +248,7 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
       Rep.PeriodicPass = true;
       // The probe walk is pass cost too; count it so the attributed
       // shares still sum to the real cost of the method.
-      PassProbeSeconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - P0)
-                             .count();
+      PassProbeSeconds = telemetry::secondsSince(P0);
       Rep.PeriodicPassSeconds += PassProbeSeconds;
       PassResults.resize(Banks.size());
       // A pass that throws (e.g. bad_alloc) must not poison its bank: a
@@ -257,6 +262,8 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
       for (size_t B = 0; B < Banks.size(); ++B)
         Tasks.push_back([&Program, &Opts, &PassResults, &Banks,
                          &BankMaxAssoc, &PassFailed, B] {
+          telemetry::Span PassSpan("sweep.periodic-bank");
+          PassSpan.arg("bank", static_cast<uint64_t>(B));
           try {
             PassResults[B] =
                 runPeriodicPass(Program, Banks[B].blockBytes(),
@@ -282,7 +289,10 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
       }
       Rep.TraceAccesses = PassResults.front().Histogram.Accesses;
       if (!Demoted.empty()) {
-        auto L0 = std::chrono::steady_clock::now();
+        telemetry::Span WalkSpan("sweep.stack-distance-pass");
+        WalkSpan.arg("flavor", "demoted-linear");
+        WalkSpan.arg("banks", static_cast<uint64_t>(Demoted.size()));
+        telemetry::TimePoint L0 = telemetry::now();
         uint64_t Walked =
             generateTrace(Program, TO, [&](const TraceRecord &R) {
               for (SetDistanceBank *B : Demoted)
@@ -290,19 +300,18 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
             });
         if (Rep.TraceAccesses == 0)
           Rep.TraceAccesses = Walked;
-        Rep.TracePassSeconds += std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() - L0)
-                                    .count();
+        Rep.TracePassSeconds += telemetry::secondsSince(L0);
       }
     } else {
+      telemetry::Span WalkSpan("sweep.stack-distance-pass");
+      WalkSpan.arg("flavor", "linear");
+      WalkSpan.arg("banks", static_cast<uint64_t>(Banks.size()));
       Rep.TraceAccesses =
           generateTrace(Program, TO, [&](const TraceRecord &R) {
             for (SetDistanceBank &B : Banks)
               B.accessAddr(R.Addr);
           });
-      Rep.TracePassSeconds = std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - P0)
-                                 .count();
+      Rep.TracePassSeconds = telemetry::secondsSince(P0);
     }
   }
 
@@ -316,6 +325,8 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
     RecTasks.reserve(Groups.size());
     for (FilteredGroup &G : Groups)
       RecTasks.push_back([&Program, &Opts, &G] {
+        telemetry::Span RecSpan("sweep.filtered-record");
+        RecSpan.arg("l1", G.L1.str());
         // Same honesty rule as the periodic passes: a recording that
         // throws leaves a default (empty, non-truncated) stream whose
         // replays would report zero misses. Fail the group instead; its
@@ -324,12 +335,12 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
           G.Stream = FilteredStream::record(Program, G.L1, Opts.Sim,
                                             Opts.MaxFilteredRecords);
           if (!G.Stream.truncated() && !G.Banks.empty()) {
-            auto F0 = std::chrono::steady_clock::now();
+            telemetry::Span FeedSpan("sweep.filtered-feed");
+            FeedSpan.arg("banks", static_cast<uint64_t>(G.Banks.size()));
+            telemetry::TimePoint F0 = telemetry::now();
             for (SetDistanceBank &B : G.Banks)
               G.Stream.feed(B);
-            G.FeedSeconds = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - F0)
-                                .count();
+            G.FeedSeconds = telemetry::secondsSince(F0);
           }
         } catch (...) {
           G.Failed = true;
@@ -480,9 +491,7 @@ SweepReport wcs::runSweep(const ScopProgram &Program,
       Rep.Points[I].Stats.Seconds += GShare;
   }
 
-  Rep.WallSeconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - T0)
-                        .count();
+  Rep.WallSeconds = telemetry::secondsSince(T0);
   return Rep;
 }
 

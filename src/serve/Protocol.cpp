@@ -56,6 +56,44 @@ bool wcs::fromJson(const Value &V, ProgressEvent &Out, std::string *Err) {
   return true;
 }
 
+Value wcs::toJson(const StatusDoc &D) {
+  Value V = Value::object();
+  V.set("schema", StatusSchemaName);
+  V.set("schema_version", StatusSchemaVersion);
+  V.set("requests_served", D.RequestsServed);
+  V.set("points_computed", D.PointsComputed);
+  V.set("store_hits", D.StoreHits);
+  V.set("inflight_hits", D.InFlightHits);
+  V.set("cancelled_jobs", D.CancelledJobs);
+  V.set("active_requests", D.ActiveRequests);
+  V.set("queued_jobs", D.QueuedJobs);
+  V.set("store_entries", D.StoreEntries);
+  V.set("active_connections", D.ActiveConnections);
+  V.set("max_connections", D.MaxConnections);
+  V.set("uptime_seconds", D.UptimeSeconds);
+  return V;
+}
+
+bool wcs::fromJson(const Value &V, StatusDoc &Out, std::string *Err) {
+  if (!needSchema(V, StatusSchemaName, StatusSchemaVersion, Err))
+    return false;
+  StatusDoc D;
+  if (!needUInt(V, "requests_served", D.RequestsServed, Err) ||
+      !needUInt(V, "points_computed", D.PointsComputed, Err) ||
+      !needUInt(V, "store_hits", D.StoreHits, Err) ||
+      !needUInt(V, "inflight_hits", D.InFlightHits, Err) ||
+      !needUInt(V, "cancelled_jobs", D.CancelledJobs, Err) ||
+      !needUInt(V, "active_requests", D.ActiveRequests, Err) ||
+      !needUInt(V, "queued_jobs", D.QueuedJobs, Err) ||
+      !needUInt(V, "store_entries", D.StoreEntries, Err) ||
+      !needUInt(V, "active_connections", D.ActiveConnections, Err) ||
+      !needUInt(V, "max_connections", D.MaxConnections, Err) ||
+      !needDouble(V, "uptime_seconds", D.UptimeSeconds, Err))
+    return false;
+  Out = D;
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Socket plumbing
 //===----------------------------------------------------------------------===//
@@ -258,7 +296,30 @@ bool wcs::requestShutdown(const std::string &SocketPath, std::string *Err) {
   return controlRoundTrip(SocketPath, "shutdown", nullptr, Err);
 }
 
-bool wcs::requestStatus(const std::string &SocketPath, json::Value &Out,
+bool wcs::requestStatus(const std::string &SocketPath, StatusDoc &Out,
                         std::string *Err) {
-  return controlRoundTrip(SocketPath, "status", &Out, Err);
+  // Not controlRoundTrip: the status answer is a wcs-status document,
+  // not a wcs-control ack, so it carries a schema instead of "ok".
+  int Fd = connectUnix(SocketPath, Err);
+  if (Fd < 0)
+    return false;
+  Value V = Value::object();
+  V.set("schema", ControlSchemaName);
+  V.set("schema_version", ServeProtocolVersion);
+  V.set("cmd", "status");
+  if (!sendLine(Fd, V.dump(false), Err)) {
+    closeFd(Fd);
+    return false;
+  }
+  LineReader Reader(Fd);
+  std::string Line;
+  bool Acked = Reader.readLine(Line, Err);
+  closeFd(Fd);
+  if (!Acked)
+    return failMsg(Err, "daemon closed without answering status");
+  Value Ack;
+  std::string ParseErr;
+  if (!json::parse(Line, Ack, &ParseErr))
+    return failMsg(Err, "malformed status from daemon: " + ParseErr);
+  return fromJson(Ack, Out, Err);
 }

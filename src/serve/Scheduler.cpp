@@ -46,6 +46,7 @@ Scheduler::~Scheduler() {
 
 bool Scheduler::nextJob(std::function<void()> &Task) {
   Job J;
+  double QueueWait = 0.0;
   {
     std::unique_lock<std::mutex> L(Mu);
     WorkCv.wait(L, [this] { return Stopping || !RoundRobin.empty(); });
@@ -60,7 +61,14 @@ bool Scheduler::nextJob(std::function<void()> &Task) {
     RS->Queue.pop_front();
     if (!RS->Queue.empty())
       RoundRobin.push_back(RS);
+    QueueWait = telemetry::secondsSince(J.Enqueued);
+    RS->QueueWaitSeconds += QueueWait;
   }
+  telemetry::registry().counter("scheduler.jobs_dequeued").add();
+  telemetry::registry()
+      .histogram("scheduler.queue_wait_seconds",
+                 telemetry::defaultLatencyBounds())
+      .observe(QueueWait);
   Task = [this, J = std::move(J)]() mutable { runJob(J); };
   return true;
 }
@@ -69,6 +77,11 @@ void Scheduler::runJob(Job &J) {
   RequestState *RS = J.Owner;
   if (Observer)
     Observer(RS->Serial, J.Configs.size());
+
+  telemetry::Span JobSpan("scheduler.job");
+  JobSpan.arg("request", RS->Serial);
+  JobSpan.arg("points", static_cast<uint64_t>(J.Configs.size()));
+  telemetry::TimePoint C0 = telemetry::now();
 
   // The sub-sweep itself runs unlocked and single-threaded: the
   // scheduler's parallelism is across jobs, so one worker owns one
@@ -96,7 +109,15 @@ void Scheduler::runJob(Job &J) {
     }
   }
 
+  double Compute = telemetry::secondsSince(C0);
+  telemetry::registry()
+      .counter("scheduler.points_computed")
+      .add(J.PointIdx.size());
+
+  telemetry::Span PublishSpan("scheduler.publish");
+  PublishSpan.arg("points", static_cast<uint64_t>(J.PointIdx.size()));
   std::lock_guard<std::mutex> L(Mu);
+  RS->ComputeSeconds += Compute;
   mergeSweepReports(RS->Merged, Rep);
   for (size_t G = 0; G < J.PointIdx.size(); ++G) {
     size_t I = J.PointIdx[G];
@@ -176,6 +197,7 @@ void Scheduler::cancelLocked(RequestState &RS) {
       RS.Points[I].Error = "cancelled: client disconnected";
     }
     ++Counters.CancelledJobs;
+    telemetry::registry().counter("scheduler.jobs_cancelled").add();
     --RS.JobsOutstanding;
   }
   RS.Queue.swap(Keep);
@@ -188,18 +210,28 @@ void Scheduler::cancelLocked(RequestState &RS) {
 SweepResponse Scheduler::serve(
     const SweepRequest &Req,
     const std::function<bool(const ProgressEvent &)> &OnProgress,
-    const std::function<bool()> &IsCancelled) {
+    const std::function<bool()> &IsCancelled, RequestTelemetry *Tel) {
+  telemetry::Span ReqSpan("serve.request");
+  telemetry::TimePoint W0 = telemetry::now();
   SweepResponse Resp;
   Resp.RequestHash = requestHash(Req);
+  ReqSpan.arg("hash", Resp.RequestHash);
+  telemetry::registry().counter("serve.requests").add();
 
   PreparedSweep Prep;
   std::string Err;
-  if (!prepareSweep(Req, Prep, &Err)) {
-    Resp.Error = Err;
-    std::lock_guard<std::mutex> L(Mu);
-    ++Counters.RequestsServed;
-    Resp.StoreEntries = Store.numEntries();
-    return Resp;
+  {
+    telemetry::Span ExpandSpan("serve.expand");
+    if (!prepareSweep(Req, Prep, &Err)) {
+      Resp.Error = Err;
+      std::lock_guard<std::mutex> L(Mu);
+      ++Counters.RequestsServed;
+      Resp.StoreEntries = Store.numEntries();
+      if (Tel)
+        Tel->WallSeconds = telemetry::secondsSince(W0);
+      return Resp;
+    }
+    ExpandSpan.arg("points", static_cast<uint64_t>(Prep.Configs.size()));
   }
 
   RequestState RS;
@@ -212,6 +244,7 @@ SweepResponse Scheduler::serve(
 
   std::vector<ProgressEvent> HitEvents;
   {
+    telemetry::Span AdmitSpan("serve.admission");
     std::lock_guard<std::mutex> L(Mu);
     RS.Serial = ++LastSerial;
     ++NumActive;
@@ -246,6 +279,7 @@ SweepResponse Scheduler::serve(
       OwnedCfgs.reserve(Owned.size());
       for (size_t I : Owned)
         OwnedCfgs.push_back(Prep.Configs[I]);
+      telemetry::TimePoint Enq = telemetry::now();
       for (const std::vector<size_t> &G :
            partitionSweepGroups(OwnedCfgs)) {
         Job J;
@@ -256,12 +290,23 @@ SweepResponse Scheduler::serve(
           J.PointIdx.push_back(Owned[K]);
           J.Configs.push_back(OwnedCfgs[K]);
         }
+        J.Enqueued = Enq;
         RS.Queue.push_back(std::move(J));
       }
       RS.JobsOutstanding = RS.Queue.size();
       RoundRobin.push_back(&RS);
+      telemetry::registry()
+          .counter("scheduler.jobs_enqueued")
+          .add(RS.Queue.size());
     }
     RS.Merged.Threads = PoolThreads;
+    AdmitSpan.arg("store_hits", Resp.StoreHits);
+    AdmitSpan.arg("inflight_hits", Resp.InFlightHits);
+    AdmitSpan.arg("jobs", static_cast<uint64_t>(RS.Queue.size()));
+    if (Resp.InFlightHits != 0)
+      telemetry::registry()
+          .counter("scheduler.inflight_subscriptions")
+          .add(Resp.InFlightHits);
   }
   WorkCv.notify_all();
 
@@ -275,10 +320,14 @@ SweepResponse Scheduler::serve(
   };
   if (IsCancelled && IsCancelled())
     Alive = false;
-  for (const ProgressEvent &E : HitEvents) {
-    if (!Alive)
-      break;
-    Alive = Fire(E);
+  if (!HitEvents.empty()) {
+    telemetry::Span DeliverSpan("serve.deliver");
+    DeliverSpan.arg("events", static_cast<uint64_t>(HitEvents.size()));
+    for (const ProgressEvent &E : HitEvents) {
+      if (!Alive)
+        break;
+      Alive = Fire(E);
+    }
   }
 
   std::unique_lock<std::mutex> L(Mu);
@@ -290,10 +339,14 @@ SweepResponse Scheduler::serve(
       Batch.swap(RS.Ready);
       if (Alive) {
         L.unlock();
-        for (const ProgressEvent &E : Batch) {
-          if (!Alive)
-            break;
-          Alive = Fire(E);
+        {
+          telemetry::Span DeliverSpan("serve.deliver");
+          DeliverSpan.arg("events", static_cast<uint64_t>(Batch.size()));
+          for (const ProgressEvent &E : Batch) {
+            if (!Alive)
+              break;
+            Alive = Fire(E);
+          }
         }
         L.lock();
       }
@@ -319,6 +372,21 @@ SweepResponse Scheduler::serve(
   Counters.InFlightHits += Resp.InFlightHits;
   --NumActive;
   Resp.StoreEntries = Store.numEntries();
+
+  telemetry::Registry &Reg = telemetry::registry();
+  Reg.counter("serve.store_hits").add(Resp.StoreHits);
+  Reg.counter("serve.store_misses").add(Resp.StoreMisses);
+  Reg.counter("serve.inflight_hits").add(Resp.InFlightHits);
+  Reg.gauge("store.entries").set(static_cast<double>(Resp.StoreEntries));
+  double Wall = telemetry::secondsSince(W0);
+  Reg.histogram("serve.request_seconds", telemetry::defaultLatencyBounds())
+      .observe(Wall);
+  if (Tel) {
+    Tel->QueueWaitSeconds = RS.QueueWaitSeconds;
+    Tel->ComputeSeconds = RS.ComputeSeconds;
+    Tel->WallSeconds = Wall;
+  }
+
   if (!Alive) {
     Resp.Error = "cancelled: client disconnected";
     return Resp;

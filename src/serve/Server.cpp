@@ -117,11 +117,17 @@ struct ServerState {
   Scheduler *Sched = nullptr;
   unsigned MaxConnections = 0; ///< 0 = unlimited.
   int ListenFd = -1;
+  telemetry::TimePoint Start; ///< For uptime_seconds.
 
   std::mutex Mu;
   std::condition_variable Cv; ///< Capacity freed / shutdown requested.
   unsigned Active = 0;
   bool ShuttingDown = false;
+
+  /// The --log sink: one compact JSON object per request, its own lock
+  /// so a slow disk never blocks the accept loop.
+  std::mutex LogMu;
+  std::FILE *Log = nullptr;
 
   struct ConnSlot {
     std::thread T;
@@ -130,9 +136,38 @@ struct ServerState {
   std::list<std::unique_ptr<ConnSlot>> Conns;
 };
 
+/// Appends the request's JSON-lines log record (under LogMu; fflush so
+/// a crash or kill -9 loses at most the line being written).
+void logRequest(ServerState &S, const SweepRequest &Req,
+                const SweepResponse &Resp,
+                const Scheduler::RequestTelemetry &Tel) {
+  if (!S.Log)
+    return;
+  Value V = Value::object();
+  V.set("time", telemetry::secondsSince(S.Start));
+  V.set("request", Resp.RequestHash);
+  V.set("program", Req.programLabel());
+  V.set("points",
+        Resp.StoreHits + Resp.StoreMisses + Resp.InFlightHits);
+  V.set("store_hits", Resp.StoreHits);
+  V.set("store_misses", Resp.StoreMisses);
+  V.set("inflight_hits", Resp.InFlightHits);
+  V.set("queue_wait_seconds", Tel.QueueWaitSeconds);
+  V.set("compute_seconds", Tel.ComputeSeconds);
+  V.set("wall_seconds", Tel.WallSeconds);
+  V.set("ok", Resp.Ok);
+  if (!Resp.Error.empty())
+    V.set("error", Resp.Error);
+  std::string Line = V.dump(false);
+  std::lock_guard<std::mutex> L(S.LogMu);
+  std::fprintf(S.Log, "%s\n", Line.c_str());
+  std::fflush(S.Log);
+}
+
 /// Serves one accepted connection on its own thread: one line in, the
 /// progress stream and one response (or a control ack) out.
 void serveConnection(int Fd, ServerState &S) {
+  telemetry::Span ConnSpan("serve.connection");
   LineReader Reader(Fd);
   std::string Line, Err;
   if (!Reader.readLine(Line, &Err)) {
@@ -158,24 +193,27 @@ void serveConnection(int Fd, ServerState &S) {
     Ack.set("schema", ControlSchemaName);
     Ack.set("schema_version", ServeProtocolVersion);
     if (Cmd == "status") {
+      // The status answer is its own versioned document, not a control
+      // ack: clients validate it through fromJson like every other
+      // wire document.
       Scheduler::Stats St = S.Sched->stats();
-      Ack.set("ok", true);
-      Ack.set("requests_served", St.RequestsServed);
-      Ack.set("points_computed", St.PointsComputed);
-      Ack.set("store_hits", St.StoreHits);
-      Ack.set("inflight_hits", St.InFlightHits);
-      Ack.set("cancelled_jobs", St.CancelledJobs);
-      Ack.set("active_requests", St.ActiveRequests);
-      Ack.set("queued_jobs", St.QueuedJobs);
-      Ack.set("store_entries", St.StoreEntries);
+      StatusDoc D;
+      D.RequestsServed = St.RequestsServed;
+      D.PointsComputed = St.PointsComputed;
+      D.StoreHits = St.StoreHits;
+      D.InFlightHits = St.InFlightHits;
+      D.CancelledJobs = St.CancelledJobs;
+      D.ActiveRequests = St.ActiveRequests;
+      D.QueuedJobs = St.QueuedJobs;
+      D.StoreEntries = St.StoreEntries;
       {
         std::lock_guard<std::mutex> L(S.Mu);
         // This connection is one of the active ones.
-        Ack.set("active_connections", static_cast<uint64_t>(S.Active));
+        D.ActiveConnections = S.Active;
       }
-      Ack.set("max_connections",
-              static_cast<uint64_t>(S.MaxConnections));
-      sendLine(Fd, Ack.dump(false), nullptr);
+      D.MaxConnections = S.MaxConnections;
+      D.UptimeSeconds = telemetry::secondsSince(S.Start);
+      sendLine(Fd, toJson(D).dump(false), nullptr);
       return;
     }
     bool Shutdown = Cmd == "shutdown";
@@ -220,18 +258,20 @@ void serveConnection(int Fd, ServerState &S) {
     Gone.store(true);
   });
 
+  Scheduler::RequestTelemetry Tel;
   Resp = S.Sched->serve(
       Req,
       [Fd](const ProgressEvent &E) {
         return sendLine(Fd, toJson(E).dump(false), nullptr);
       },
-      [&Gone] { return Gone.load(); });
+      [&Gone] { return Gone.load(); }, &Tel);
   sendLine(Fd, toJson(Resp).dump(false), nullptr);
   // Wake the watcher (its recv returns 0 once the read side shuts) and
   // reap it before the fd closes.
   ::shutdown(Fd, SHUT_RDWR);
   Watch.join();
 
+  logRequest(S, Req, Resp, Tel);
   std::fprintf(stderr,
                "wcs-serve: %s %s: %llu hits, %llu misses, %llu "
                "in-flight, store %llu entries\n",
@@ -278,6 +318,17 @@ bool wcs::runServer(const ServerOptions &Opts,
   St.Sched = &Sched;
   St.MaxConnections = Opts.MaxConnections;
   St.ListenFd = Listen;
+  St.Start = telemetry::now();
+  if (!Opts.LogPath.empty()) {
+    St.Log = std::fopen(Opts.LogPath.c_str(), "a");
+    if (!St.Log) {
+      if (Err)
+        *Err = "cannot open log file " + Opts.LogPath;
+      closeFd(Listen);
+      ::unlink(Opts.SocketPath.c_str());
+      return false;
+    }
+  }
 
   std::fprintf(stderr,
                "wcs-serve: listening on %s (%zu stored entries, %u "
@@ -287,6 +338,7 @@ bool wcs::runServer(const ServerOptions &Opts,
   if (OnReady)
     OnReady();
 
+  telemetry::setThreadName("accept");
   for (;;) {
     {
       std::unique_lock<std::mutex> L(St.Mu);
@@ -321,6 +373,7 @@ bool wcs::runServer(const ServerOptions &Opts,
     ServerState::ConnSlot *SP = Slot.get();
     St.Conns.push_back(std::move(Slot));
     SP->T = std::thread([Fd, SP, &St] {
+      telemetry::setThreadName("conn-" + std::to_string(Fd));
       serveConnection(Fd, St);
       closeFd(Fd);
       {
@@ -347,6 +400,8 @@ bool wcs::runServer(const ServerOptions &Opts,
   }
   closeFd(Listen);
   ::unlink(Opts.SocketPath.c_str());
+  if (St.Log)
+    std::fclose(St.Log);
   Scheduler::Stats Final = Sched.stats();
   std::fprintf(stderr,
                "wcs-serve: shut down (%llu requests: %llu store hits, "

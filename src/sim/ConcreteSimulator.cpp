@@ -8,9 +8,9 @@
 #include "wcs/sim/ConcreteSimulator.h"
 
 #include "wcs/support/MathUtil.h"
+#include "wcs/support/Telemetry.h"
 
 #include <cassert>
-#include <chrono>
 #include <sstream>
 
 using namespace wcs;
@@ -34,7 +34,7 @@ ConcreteSimulator::ConcreteSimulator(const ScopProgram &Program,
 }
 
 SimStats ConcreteSimulator::run() {
-  auto Start = std::chrono::steady_clock::now();
+  telemetry::TimePoint Start = telemetry::now();
   // The full tap observes every access individually, so batching (which
   // never materializes per-access outcomes) is reserved for untapped
   // runs. A miss tap is fine: the batch loop calls it from the miss
@@ -43,9 +43,7 @@ SimStats ConcreteSimulator::run() {
   IterVec Iter;
   for (const std::unique_ptr<Node> &R : Program.roots())
     simulateNode(R.get(), Iter);
-  Stats.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  Stats.Seconds = telemetry::secondsSince(Start);
   return Stats;
 }
 

@@ -8,9 +8,9 @@
 #include "wcs/sim/WarpingSimulator.h"
 
 #include "wcs/support/MathUtil.h"
+#include "wcs/support/Telemetry.h"
 
 #include <cassert>
-#include <chrono>
 #include <unordered_map>
 
 using namespace wcs;
@@ -131,13 +131,11 @@ void WarpingSimulator::enableDepthProfile() {
 }
 
 SimStats WarpingSimulator::run() {
-  auto Start = std::chrono::steady_clock::now();
+  telemetry::TimePoint Start = telemetry::now();
   IterVec Iter;
   for (const std::unique_ptr<Node> &R : Program.roots())
     runNode(R.get(), Iter);
-  Stats.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  Stats.Seconds = telemetry::secondsSince(Start);
   return Stats;
 }
 

@@ -8,10 +8,10 @@
 #include "wcs/trace/FilteredStream.h"
 
 #include "wcs/sim/ConcreteSimulator.h"
+#include "wcs/support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <unordered_map>
 
 using namespace wcs;
@@ -171,7 +171,7 @@ FilteredStream FilteredStream::record(const ScopProgram &Program,
                                       uint64_t MaxRecords) {
   FilteredStream FS;
   FS.L1 = L1;
-  auto T0 = std::chrono::steady_clock::now();
+  telemetry::TimePoint T0 = telemetry::now();
   ConcreteSimulator Sim(Program, HierarchyConfig::singleLevel(L1), Opts);
   // A miss tap (not a full tap) keeps the recording run on the batched
   // concrete hot loop: hits never surface, and misses are exactly what
@@ -204,9 +204,7 @@ FilteredStream FilteredStream::record(const ScopProgram &Program,
     FS.Segments.clear();
     FS.Segments.shrink_to_fit();
   }
-  FS.Seconds = std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - T0)
-                   .count();
+  FS.Seconds = telemetry::secondsSince(T0);
   return FS;
 }
 
@@ -270,7 +268,7 @@ SimStats FilteredStream::replay(const CacheConfig &L2) const {
   assert(!Truncated && "cannot replay a truncated stream");
   assert(L2.BlockBytes == L1.BlockBytes &&
          "levels of a hierarchy share one block size");
-  auto T0 = std::chrono::steady_clock::now();
+  telemetry::TimePoint T0 = telemetry::now();
   SimStats S;
   S.NumLevels = 2;
   S.Level[0] = L1Stats;
@@ -327,8 +325,6 @@ SimStats FilteredStream::replay(const CacheConfig &L2) const {
   // Records actually walked; repetitions answered from a recurred state
   // are analytic work, like warped accesses elsewhere.
   S.SimulatedAccesses = Walked;
-  S.Seconds = std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - T0)
-                  .count();
+  S.Seconds = telemetry::secondsSince(T0);
   return S;
 }

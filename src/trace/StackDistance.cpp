@@ -8,10 +8,10 @@
 #include "wcs/trace/StackDistance.h"
 
 #include "wcs/support/MathUtil.h"
+#include "wcs/support/Telemetry.h"
 #include "wcs/trace/TraceGenerator.h"
 
 #include <cassert>
-#include <chrono>
 
 using namespace wcs;
 
@@ -154,17 +154,14 @@ StackDistanceProfiler wcs::profileProgram(const ScopProgram &Program,
                                           unsigned BlockBytes,
                                           bool IncludeScalars,
                                           double *Seconds) {
-  auto Start = std::chrono::steady_clock::now();
+  telemetry::TimePoint Start = telemetry::now();
   StackDistanceProfiler Prof(BlockBytes);
   TraceOptions TO;
   TO.IncludeScalars = IncludeScalars;
   generateTrace(Program, TO,
                 [&](const TraceRecord &R) { Prof.accessAddr(R.Addr); });
   if (Seconds)
-    *Seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      Start)
-            .count();
+    *Seconds = telemetry::secondsSince(Start);
   return Prof;
 }
 
@@ -173,16 +170,13 @@ SetDistanceBank wcs::profileProgramSets(const ScopProgram &Program,
                                         unsigned NumSets,
                                         bool IncludeScalars,
                                         double *Seconds) {
-  auto Start = std::chrono::steady_clock::now();
+  telemetry::TimePoint Start = telemetry::now();
   SetDistanceBank Bank(BlockBytes, NumSets);
   TraceOptions TO;
   TO.IncludeScalars = IncludeScalars;
   generateTrace(Program, TO,
                 [&](const TraceRecord &R) { Bank.accessAddr(R.Addr); });
   if (Seconds)
-    *Seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      Start)
-            .count();
+    *Seconds = telemetry::secondsSince(Start);
   return Bank;
 }

@@ -8,8 +8,8 @@
 #include "wcs/trace/TraceSimulator.h"
 
 #include "wcs/support/MathUtil.h"
+#include "wcs/support/Telemetry.h"
 
-#include <chrono>
 
 using namespace wcs;
 
@@ -43,7 +43,7 @@ void TraceSimulator::access(const TraceRecord &R) {
 }
 
 TraceSimResult TraceSimulator::runOnProgram(const ScopProgram &Program) {
-  auto Start = std::chrono::steady_clock::now();
+  telemetry::TimePoint Start = telemetry::now();
   TraceOptions TO;
   TO.IncludeScalars = Options.IncludeScalars;
   ChunkedTraceGenerator Gen(Program, TO);
@@ -54,8 +54,6 @@ TraceSimResult TraceSimulator::runOnProgram(const ScopProgram &Program) {
     for (const TraceRecord &R : Chunk)
       access(R);
   }
-  Result.Stats.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  Result.Stats.Seconds = telemetry::secondsSince(Start);
   return Result;
 }

@@ -7,17 +7,20 @@
 //
 // Tests for the public JSON reader API (support/JsonReader.h): the
 // need/opt member extractors, and -- via needSchema -- the
-// wrong-schema / wrong-version rejection contract of all four
-// schema-versioned document types (wcs-results, wcs-sweep,
-// wcs-request, wcs-response). Every reader must refuse a document of
-// another type and a version it does not speak, with a diagnostic
-// naming the problem, before touching any payload member.
+// wrong-schema / wrong-version rejection contract of every
+// schema-versioned document type (wcs-results, wcs-sweep,
+// wcs-request, wcs-response, wcs-status, wcs-metrics). Every reader
+// must refuse a document of another type and a version it does not
+// speak, with a diagnostic naming the problem, before touching any
+// payload member.
 //
 //===----------------------------------------------------------------------===//
 
 #include "wcs/driver/Results.h"
 #include "wcs/driver/SweepRequest.h"
+#include "wcs/serve/Protocol.h"
 #include "wcs/support/JsonReader.h"
+#include "wcs/support/Telemetry.h"
 
 #include "gtest/gtest.h"
 
@@ -112,7 +115,7 @@ TEST(JsonReader, NeedSchemaDiagnostics) {
 }
 
 //===----------------------------------------------------------------------===//
-// The four document types: wrong schema / wrong version rejection
+// The document types: wrong schema / wrong version rejection
 //===----------------------------------------------------------------------===//
 
 // One valid instance of each document type, round-tripped through its
@@ -146,6 +149,29 @@ Value validResponse() {
   R.RequestHash = "0123456789abcdef";
   R.Sweep.Tool = "wcs-serve";
   return toJson(R);
+}
+
+Value validStatus() {
+  StatusDoc D;
+  D.RequestsServed = 4;
+  D.PointsComputed = 6;
+  D.MaxConnections = 8;
+  return toJson(D);
+}
+
+Value validMetrics() {
+  MetricsDoc D;
+  D.Tool = "wcs-serve";
+  D.Counters.emplace_back("serve.requests", 4);
+  MetricsDoc::Hist H;
+  H.Name = "serve.request_seconds";
+  H.Bounds = {0.001, 1.0};
+  H.Counts = {1, 2, 1};
+  H.Count = 4;
+  H.Sum = 2.5;
+  D.Histograms.push_back(std::move(H));
+  D.Spans.push_back({"serve.request", 4, 2.5});
+  return toJson(D);
 }
 
 template <typename DocT>
@@ -191,6 +217,14 @@ TEST(SchemaRejection, SweepResponse) {
   expectRejection<SweepResponse>(validResponse(), "wcs-response");
 }
 
+TEST(SchemaRejection, StatusDoc) {
+  expectRejection<StatusDoc>(validStatus(), "wcs-status");
+}
+
+TEST(SchemaRejection, MetricsDoc) {
+  expectRejection<MetricsDoc>(validMetrics(), "wcs-metrics");
+}
+
 TEST(SchemaRejection, CrossTypeConfusion) {
   // Feeding one document type to another type's reader must fail on
   // the schema name -- not half-parse into garbage.
@@ -201,6 +235,12 @@ TEST(SchemaRejection, CrossTypeConfusion) {
   SweepDoc Doc;
   EXPECT_FALSE(fromJson(validRequest(), Doc, &Err));
   EXPECT_NE(Err.find("not a wcs-sweep"), std::string::npos) << Err;
+  StatusDoc St;
+  EXPECT_FALSE(fromJson(validMetrics(), St, &Err));
+  EXPECT_NE(Err.find("not a wcs-status"), std::string::npos) << Err;
+  MetricsDoc Me;
+  EXPECT_FALSE(fromJson(validStatus(), Me, &Err));
+  EXPECT_NE(Err.find("not a wcs-metrics"), std::string::npos) << Err;
 }
 
 } // namespace

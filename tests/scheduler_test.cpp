@@ -374,9 +374,16 @@ TEST(Scheduler, SeededConcurrentStressMatchesReference) {
 
   ResultStore Store;
   ASSERT_TRUE(Store.open("", &Err)) << Err;
+
+  // The metrics registry is process-global, so the telemetry
+  // assertions below work on snapshot DELTAS across this run. The
+  // serial reference above ran through serveSweepRequest (no
+  // scheduler), so it does not pollute the scheduler.* deltas.
+  MetricsDoc MBefore = telemetry::registry().snapshot("test");
   Scheduler Sched(Store, 4);
 
   const unsigned NumClients = 4;
+  std::atomic<uint64_t> InFlightHitsSeen{0};
   std::atomic<unsigned> Failures{0};
   std::vector<std::string> FailWhy(NumClients);
   std::vector<std::thread> Clients;
@@ -393,6 +400,7 @@ TEST(Scheduler, SeededConcurrentStressMatchesReference) {
           ++Failures;
           return;
         }
+        InFlightHitsSeen += Resp.InFlightHits;
         size_t Total = Resp.Sweep.Points.size();
         if (Resp.StoreHits + Resp.InFlightHits + Resp.StoreMisses !=
             Total) {
@@ -422,6 +430,33 @@ TEST(Scheduler, SeededConcurrentStressMatchesReference) {
   EXPECT_LE(St.PointsComputed, Union.Sweep.Points.size());
   EXPECT_EQ(St.StoreEntries, Union.Sweep.Points.size());
   EXPECT_EQ(St.RequestsServed, NumClients * Iters);
+
+  // The telemetry registry tells the same story as the scheduler's own
+  // stats, however the races fell.
+  MetricsDoc MAfter = telemetry::registry().snapshot("test");
+  auto CounterDelta = [&](const char *Name) {
+    return MAfter.counter(Name) - MBefore.counter(Name);
+  };
+  EXPECT_EQ(CounterDelta("serve.requests"), NumClients * Iters);
+  EXPECT_EQ(CounterDelta("scheduler.points_computed"),
+            St.PointsComputed);
+  // Dedup subscriptions: one registry bump per in-flight hit handed
+  // out, exactly what the responses reported.
+  EXPECT_EQ(CounterDelta("scheduler.inflight_subscriptions"),
+            InFlightHitsSeen.load());
+  // Every enqueued job was dequeued (serve() blocks until its request
+  // drains, and nothing disconnected), and every dequeue observed its
+  // queue wait in the histogram.
+  EXPECT_EQ(CounterDelta("scheduler.jobs_cancelled"), 0u);
+  EXPECT_EQ(CounterDelta("scheduler.jobs_enqueued"),
+            CounterDelta("scheduler.jobs_dequeued"));
+  const MetricsDoc::Hist *WaitAfter =
+      MAfter.histogram("scheduler.queue_wait_seconds");
+  const MetricsDoc::Hist *WaitBefore =
+      MBefore.histogram("scheduler.queue_wait_seconds");
+  ASSERT_NE(WaitAfter, nullptr);
+  EXPECT_EQ(WaitAfter->Count - (WaitBefore ? WaitBefore->Count : 0),
+            CounterDelta("scheduler.jobs_dequeued"));
 }
 
 } // namespace

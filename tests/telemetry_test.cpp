@@ -1,0 +1,411 @@
+//===- tests/telemetry_test.cpp - Span tracer and metrics registry --------===//
+//
+// Part of the wcs project, a reproduction of "Warping Cache Simulation of
+// Polyhedral Programs" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the observable contracts of support/Telemetry: span nesting
+// order in a drained trace, multi-thread lane merging, ring overflow
+// (oldest events dropped, survivors never torn -- including under a
+// concurrent drain, which is what TSan exercises here), the
+// histogram's exact bucket-boundary rule, the wcs-metrics document
+// round trip, and registry snapshot deltas.
+//
+// The tracer and registry are process-global, so every tracing test
+// resets them through TracingGuard and records its spans on FRESH
+// threads: a thread's ring capacity is fixed when its buffer first
+// registers, and only a new thread is guaranteed to pick up the
+// capacity a test just configured.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wcs/support/Telemetry.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace wcs;
+namespace tel = wcs::telemetry;
+
+namespace {
+
+/// Resets the global tracer, then enables tracing with \p RingCapacity
+/// (0 = keep the current default). Disables again on scope exit so no
+/// suite leaks an enabled tracer into the next.
+struct TracingGuard {
+  explicit TracingGuard(size_t RingCapacity = 0) {
+    tel::disableTracing();
+    tel::enableTracing(RingCapacity);
+  }
+  ~TracingGuard() { tel::disableTracing(); }
+};
+
+/// The drained spans recorded by thread \p ThreadName, in snapshot
+/// (= lane-chronological) order.
+std::vector<tel::DrainedSpan> laneOf(const tel::TraceSnapshot &Snap,
+                                     const std::string &ThreadName) {
+  std::vector<tel::DrainedSpan> Out;
+  for (const tel::DrainedSpan &D : Snap.Spans)
+    if (D.ThreadName == ThreadName)
+      Out.push_back(D);
+  return Out;
+}
+
+const MetricsDoc::SpanAgg *spanAgg(const MetricsDoc &D,
+                                   const std::string &Name) {
+  for (const MetricsDoc::SpanAgg &A : D.Spans)
+    if (A.Name == Name)
+      return &A;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Span tracer
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, NestedSpansDrainParentFirst) {
+  TracingGuard Guard;
+  std::thread T([] {
+    tel::setThreadName("nest");
+    tel::Span Outer("outer");
+    Outer.arg("key", std::string("value"));
+    Outer.arg("n", static_cast<uint64_t>(7));
+    {
+      tel::Span Inner("inner");
+      tel::Span Leaf("leaf");
+    }
+    tel::Span Second("second");
+  });
+  T.join();
+
+  tel::TraceSnapshot Snap = tel::drainTrace();
+  std::vector<tel::DrainedSpan> Lane = laneOf(Snap, "nest");
+  ASSERT_EQ(Lane.size(), 4u);
+
+  // Spans COMPLETE leaf-first, but the snapshot sorts each lane by
+  // (start, -duration), so a parent always precedes its children.
+  EXPECT_EQ(Lane[0].Name, "outer");
+  EXPECT_EQ(Lane[1].Name, "inner");
+  EXPECT_EQ(Lane[2].Name, "leaf");
+  EXPECT_EQ(Lane[3].Name, "second");
+
+  // Nesting shows as interval containment in one shared time domain.
+  const tel::DrainedSpan &Outer = Lane[0], &Inner = Lane[1],
+                         &Leaf = Lane[2], &Second = Lane[3];
+  EXPECT_LE(Outer.StartSeconds, Inner.StartSeconds);
+  EXPECT_GE(Outer.StartSeconds + Outer.DurSeconds,
+            Inner.StartSeconds + Inner.DurSeconds);
+  EXPECT_LE(Inner.StartSeconds, Leaf.StartSeconds);
+  EXPECT_GE(Outer.StartSeconds + Outer.DurSeconds,
+            Second.StartSeconds + Second.DurSeconds);
+
+  ASSERT_EQ(Outer.Args.size(), 2u);
+  EXPECT_EQ(Outer.Args[0].first, "key");
+  EXPECT_EQ(Outer.Args[0].second, "value");
+  EXPECT_EQ(Outer.Args[1].first, "n");
+  EXPECT_EQ(Outer.Args[1].second, "7");
+
+  // All lanes drained and cleared: a second drain is empty.
+  EXPECT_TRUE(tel::drainTrace().Spans.empty());
+}
+
+TEST(Telemetry, ExplicitEndIsIdempotent) {
+  TracingGuard Guard;
+  std::thread T([] {
+    tel::setThreadName("end");
+    tel::Span S("ended");
+    S.end();
+    S.end(); // Second end must not record a duplicate.
+  });
+  T.join();
+  EXPECT_EQ(laneOf(tel::drainTrace(), "end").size(), 1u);
+}
+
+TEST(Telemetry, DisabledSpansRecordNothing) {
+  tel::disableTracing();
+  std::thread T([] {
+    tel::Span S("invisible");
+    S.arg("k", std::string("v"));
+  });
+  T.join();
+  tel::TraceSnapshot Snap = tel::drainTrace();
+  for (const tel::DrainedSpan &D : Snap.Spans)
+    EXPECT_NE(D.Name, "invisible");
+}
+
+TEST(Telemetry, ThreadsMergeIntoDistinctLanes) {
+  TracingGuard Guard;
+  const unsigned NumThreads = 4, SpansPerThread = 3;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([T] {
+      tel::setThreadName("merge-" + std::to_string(T));
+      for (unsigned I = 0; I < SpansPerThread; ++I)
+        tel::Span S("merged");
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  tel::TraceSnapshot Snap = tel::drainTrace();
+  std::vector<unsigned> Tids;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    std::vector<tel::DrainedSpan> Lane =
+        laneOf(Snap, "merge-" + std::to_string(T));
+    ASSERT_EQ(Lane.size(), SpansPerThread) << "thread " << T;
+    // One lane id per thread, chronological within the lane.
+    for (const tel::DrainedSpan &D : Lane)
+      EXPECT_EQ(D.Tid, Lane[0].Tid);
+    for (size_t I = 1; I < Lane.size(); ++I)
+      EXPECT_LE(Lane[I - 1].StartSeconds, Lane[I].StartSeconds);
+    Tids.push_back(Lane[0].Tid);
+  }
+  for (size_t A = 0; A < Tids.size(); ++A)
+    for (size_t B = A + 1; B < Tids.size(); ++B)
+      EXPECT_NE(Tids[A], Tids[B]);
+}
+
+TEST(Telemetry, RingOverflowDropsOldest) {
+  const size_t Capacity = 4;
+  const uint64_t Pushed = 10;
+  TracingGuard Guard(Capacity);
+  std::thread T([&] {
+    tel::setThreadName("ring");
+    for (uint64_t I = 0; I < Pushed; ++I) {
+      tel::Span S("ring-span");
+      S.arg("i", I);
+    }
+  });
+  T.join();
+
+  tel::TraceSnapshot Snap = tel::drainTrace();
+  std::vector<tel::DrainedSpan> Lane = laneOf(Snap, "ring");
+  ASSERT_EQ(Lane.size(), Capacity);
+  EXPECT_EQ(Snap.Dropped, Pushed - Capacity);
+  // The survivors are exactly the NEWEST events, still in order.
+  for (size_t I = 0; I < Capacity; ++I) {
+    ASSERT_EQ(Lane[I].Args.size(), 1u);
+    EXPECT_EQ(Lane[I].Args[0].second,
+              std::to_string(Pushed - Capacity + I));
+  }
+}
+
+TEST(Telemetry, ConcurrentDrainNeverTearsSpans) {
+  const unsigned NumWriters = 4;
+  const uint64_t SpansPerWriter = 2000;
+  TracingGuard Guard(64); // Small ring: force overflow under load.
+
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Writers;
+  for (unsigned W = 0; W < NumWriters; ++W)
+    Writers.emplace_back([W] {
+      tel::setThreadName("torn-writer-" + std::to_string(W));
+      for (uint64_t I = 0; I < SpansPerWriter; ++I) {
+        tel::Span S("torn-test");
+        S.arg("payload", std::string("0123456789abcdef"));
+      }
+    });
+
+  // Drain continuously while the writers hammer their rings. Every
+  // drained event must come out whole: right name, right arg, sane
+  // interval. This is the TSan-relevant path.
+  uint64_t DrainedCount = 0;
+  uint64_t FinalDropped = 0;
+  auto Consume = [&](const tel::TraceSnapshot &Snap) {
+    for (const tel::DrainedSpan &D : Snap.Spans) {
+      if (D.Name != "torn-test")
+        continue;
+      ++DrainedCount;
+      ASSERT_EQ(D.Args.size(), 1u);
+      EXPECT_EQ(D.Args[0].first, "payload");
+      EXPECT_EQ(D.Args[0].second, "0123456789abcdef");
+      EXPECT_GE(D.DurSeconds, 0.0);
+    }
+    FinalDropped = Snap.Dropped;
+  };
+  std::thread Drainer([&] {
+    while (!Done.load(std::memory_order_relaxed))
+      Consume(tel::drainTrace());
+  });
+  for (std::thread &W : Writers)
+    W.join();
+  Done.store(true, std::memory_order_relaxed);
+  Drainer.join();
+  Consume(tel::drainTrace());
+
+  // Nothing is lost silently: every span was either drained whole or
+  // counted as dropped by ring overflow.
+  EXPECT_EQ(DrainedCount + FinalDropped, NumWriters * SpansPerWriter);
+}
+
+TEST(Telemetry, TraceJsonCarriesLanesAndEvents) {
+  TracingGuard Guard;
+  std::thread T([] {
+    tel::setThreadName("json-lane");
+    tel::Span S("json-span");
+    S.arg("k", std::string("v"));
+  });
+  T.join();
+
+  json::Value V = tel::traceToJson(tel::drainTrace());
+  std::string Dump = V.dump(true); // What writeTraceFile writes.
+  // Perfetto essentials: the traceEvents array, a thread_name
+  // metadata record for the lane, and the "X" complete event.
+  EXPECT_NE(Dump.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"json-lane\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"json-span\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"ph\": \"X\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, HistogramBucketBoundaries) {
+  tel::Histogram H({1.0, 2.0, 4.0});
+  // A value exactly on a boundary belongs to THAT boundary's bucket.
+  H.observe(0.5); // bucket 0 (<= 1)
+  H.observe(1.0); // bucket 0: exactly on the first bound
+  H.observe(1.5); // bucket 1 (<= 2)
+  H.observe(2.0); // bucket 1: exactly on the second bound
+  H.observe(4.0); // bucket 2: exactly on the last bound
+  H.observe(4.5); // overflow
+  H.observe(1e9); // overflow
+  EXPECT_EQ(H.bucketCounts(), (std::vector<uint64_t>{2, 2, 1, 2}));
+  EXPECT_EQ(H.count(), 7u);
+  EXPECT_DOUBLE_EQ(H.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.5 + 1e9);
+}
+
+TEST(Telemetry, DefaultLatencyBoundsAreAscendingDecades) {
+  const std::vector<double> &B = tel::defaultLatencyBounds();
+  ASSERT_GE(B.size(), 2u);
+  for (size_t I = 1; I < B.size(); ++I)
+    EXPECT_LT(B[I - 1], B[I]);
+  EXPECT_DOUBLE_EQ(B.front(), 1e-4);
+  EXPECT_DOUBLE_EQ(B.back(), 100.0);
+}
+
+//===----------------------------------------------------------------------===//
+// The wcs-metrics document
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, MetricsDocRoundTripsThroughJson) {
+  MetricsDoc D;
+  D.Tool = "wcs-serve";
+  D.Counters.emplace_back("serve.requests", 42);
+  D.Counters.emplace_back("serve.store_hits", 7);
+  D.Gauges.emplace_back("store.entries", 12.0);
+  MetricsDoc::Hist H;
+  H.Name = "serve.request_seconds";
+  H.Bounds = {0.001, 0.01, 0.1};
+  H.Counts = {3, 2, 1, 0};
+  H.Count = 6;
+  H.Sum = 0.125;
+  D.Histograms.push_back(H);
+  D.Spans.push_back({"serve.request", 42, 1.25});
+
+  std::string Err;
+  json::Value V;
+  ASSERT_TRUE(json::parse(toJson(D).dump(true), V, &Err)) << Err;
+  MetricsDoc Back;
+  ASSERT_TRUE(fromJson(V, Back, &Err)) << Err;
+
+  EXPECT_EQ(Back.Tool, D.Tool);
+  EXPECT_EQ(Back.Counters, D.Counters);
+  EXPECT_EQ(Back.Gauges, D.Gauges);
+  ASSERT_EQ(Back.Histograms.size(), 1u);
+  EXPECT_EQ(Back.Histograms[0].Name, H.Name);
+  EXPECT_EQ(Back.Histograms[0].Bounds, H.Bounds);
+  EXPECT_EQ(Back.Histograms[0].Counts, H.Counts);
+  EXPECT_EQ(Back.Histograms[0].Count, H.Count);
+  EXPECT_DOUBLE_EQ(Back.Histograms[0].Sum, H.Sum);
+  ASSERT_EQ(Back.Spans.size(), 1u);
+  EXPECT_EQ(Back.Spans[0].Name, "serve.request");
+  EXPECT_EQ(Back.Spans[0].Count, 42u);
+  EXPECT_DOUBLE_EQ(Back.Spans[0].TotalSeconds, 1.25);
+
+  // The lookup helpers the report renderer leans on.
+  EXPECT_EQ(Back.counter("serve.requests"), 42u);
+  EXPECT_EQ(Back.counter("no.such.counter"), 0u);
+  ASSERT_NE(Back.histogram("serve.request_seconds"), nullptr);
+  EXPECT_EQ(Back.histogram("no.such.histogram"), nullptr);
+}
+
+TEST(Telemetry, MetricsDocRejectsMalformedHistogram) {
+  MetricsDoc D;
+  D.Tool = "t";
+  MetricsDoc::Hist H;
+  H.Name = "bad";
+  H.Bounds = {1.0, 2.0};
+  H.Counts = {1, 2}; // Needs Bounds.size()+1 entries.
+  D.Histograms.push_back(H);
+  std::string Err;
+  MetricsDoc Back;
+  EXPECT_FALSE(fromJson(toJson(D), Back, &Err));
+  EXPECT_NE(Err.find("one count per bucket"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+// The registry is process-global, so these assert snapshot DELTAS.
+
+TEST(Telemetry, RegistrySnapshotReflectsDeltas) {
+  tel::Registry &Reg = tel::registry();
+  MetricsDoc Before = Reg.snapshot("test");
+
+  Reg.counter("test.telemetry.counter").add(3);
+  Reg.gauge("test.telemetry.gauge").set(2.5);
+  Reg.histogram("test.telemetry.hist", {1.0}).observe(0.5);
+  Reg.recordSpan("test.telemetry.span", 0.25);
+  Reg.recordSpan("test.telemetry.span", 0.75);
+
+  MetricsDoc After = Reg.snapshot("test");
+  EXPECT_EQ(After.Tool, "test");
+  EXPECT_EQ(After.counter("test.telemetry.counter") -
+                Before.counter("test.telemetry.counter"),
+            3u);
+  const MetricsDoc::Hist *H = After.histogram("test.telemetry.hist");
+  const MetricsDoc::Hist *HB = Before.histogram("test.telemetry.hist");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Count - (HB ? HB->Count : 0), 1u);
+
+  const MetricsDoc::SpanAgg *A = spanAgg(After, "test.telemetry.span");
+  const MetricsDoc::SpanAgg *AB = spanAgg(Before, "test.telemetry.span");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Count - (AB ? AB->Count : 0), 2u);
+  EXPECT_DOUBLE_EQ(A->TotalSeconds - (AB ? AB->TotalSeconds : 0.0), 1.0);
+
+  // Snapshot sections come out name-sorted -- the determinism the
+  // document comment promises.
+  for (size_t I = 1; I < After.Counters.size(); ++I)
+    EXPECT_LT(After.Counters[I - 1].first, After.Counters[I].first);
+  for (size_t I = 1; I < After.Spans.size(); ++I)
+    EXPECT_LT(After.Spans[I - 1].Name, After.Spans[I].Name);
+}
+
+TEST(Telemetry, SpanAggregationWorksWithoutRings) {
+  tel::disableTracing();
+  tel::enableSpanAggregation();
+  MetricsDoc Before = tel::registry().snapshot("test");
+  const MetricsDoc::SpanAgg *AggBefore =
+      spanAgg(Before, "agg-only-span");
+  std::thread T([] { tel::Span S("agg-only-span"); });
+  T.join();
+  tel::TraceSnapshot Snap = tel::drainTrace();
+  for (const tel::DrainedSpan &D : Snap.Spans)
+    EXPECT_NE(D.Name, "agg-only-span"); // No ring fills without bit 0.
+  MetricsDoc After = tel::registry().snapshot("test");
+  const MetricsDoc::SpanAgg *AggAfter = spanAgg(After, "agg-only-span");
+  ASSERT_NE(AggAfter, nullptr);
+  EXPECT_EQ(AggAfter->Count - (AggBefore ? AggBefore->Count : 0), 1u);
+  tel::disableTracing();
+}
+
+} // namespace

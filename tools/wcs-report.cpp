@@ -34,6 +34,7 @@
 #include "wcs/driver/Sweep.h"
 #include "wcs/driver/SweepRequest.h"
 #include "wcs/support/Stats.h"
+#include "wcs/support/Telemetry.h"
 
 #include <algorithm>
 #include <cmath>
@@ -63,11 +64,13 @@ void usage() {
       "                   (2 sigma of the geomean), so a noisy runner\n"
       "                   cannot fail a genuinely unchanged build\n"
       "  --quiet          print only drifting entries and the summary\n"
-      "With a single file (a wcs-sweep or wcs-response document),\n"
-      "renders capacity-axis tables: misses vs swept-level capacity,\n"
-      "one table per configuration series; a wcs-response additionally\n"
-      "prints its request hash and store hit/miss figures (--check\n"
-      "does not apply).\n");
+      "With a single file (a wcs-sweep, wcs-response or wcs-metrics\n"
+      "document), renders it: sweeps as capacity-axis tables (misses vs\n"
+      "swept-level capacity, one table per configuration series), a\n"
+      "wcs-response additionally with its request hash and store\n"
+      "hit/miss figures, and a wcs-metrics document (wcs-serve\n"
+      "--metrics) as top spans by cumulative time, the store hit rate\n"
+      "and the request-latency histogram (--check does not apply).\n");
 }
 
 /// Total misses across levels (the headline drift number of one entry).
@@ -316,6 +319,97 @@ int renderResponse(const SweepResponse &R, const std::string &Path) {
   return renderSweep(R.Sweep, Path);
 }
 
+//===----------------------------------------------------------------------===//
+// Metrics-document rendering (single-file mode)
+//===----------------------------------------------------------------------===//
+
+/// Renders one latency histogram as labeled buckets with a bar chart.
+void renderHistogram(const MetricsDoc::Hist &H) {
+  std::printf("\n%s  (%llu observations, total %.4f s)\n", H.Name.c_str(),
+              static_cast<unsigned long long>(H.Count), H.Sum);
+  uint64_t Max = 0;
+  for (uint64_t C : H.Counts)
+    Max = std::max(Max, C);
+  for (size_t B = 0; B < H.Counts.size(); ++B) {
+    char Label[32];
+    if (B < H.Bounds.size())
+      std::snprintf(Label, sizeof(Label), "<= %g s", H.Bounds[B]);
+    else
+      std::snprintf(Label, sizeof(Label), " > %g s",
+                    H.Bounds.empty() ? 0.0 : H.Bounds.back());
+    int Bar =
+        Max == 0 ? 0 : static_cast<int>(40 * H.Counts[B] / Max);
+    std::printf("  %-12s %8llu  %.*s\n", Label,
+                static_cast<unsigned long long>(H.Counts[B]), Bar,
+                "########################################");
+  }
+}
+
+/// Renders a wcs-metrics document (wcs-serve --metrics): the store hit
+/// rate, the top spans by cumulative time, and every histogram.
+int renderMetrics(const MetricsDoc &D, const std::string &Path) {
+  std::printf("metrics  %s%s\n", Path.c_str(),
+              D.Tool.empty() ? "" : ("  (" + D.Tool + ")").c_str());
+
+  // How much serving work the store and in-flight sharing absorbed.
+  uint64_t Hits = D.counter("serve.store_hits");
+  uint64_t InFlight = D.counter("serve.inflight_hits");
+  uint64_t Misses = D.counter("serve.store_misses");
+  uint64_t Total = Hits + InFlight + Misses;
+  if (Total > 0)
+    std::printf("store    %llu of %llu points shared (%.1f%% hit rate: "
+                "%llu store, %llu in-flight), %llu computed\n",
+                static_cast<unsigned long long>(Hits + InFlight),
+                static_cast<unsigned long long>(Total),
+                100.0 * static_cast<double>(Hits + InFlight) /
+                    static_cast<double>(Total),
+                static_cast<unsigned long long>(Hits),
+                static_cast<unsigned long long>(InFlight),
+                static_cast<unsigned long long>(Misses));
+
+  if (!D.Spans.empty()) {
+    std::vector<const MetricsDoc::SpanAgg *> Top;
+    Top.reserve(D.Spans.size());
+    for (const MetricsDoc::SpanAgg &S : D.Spans)
+      Top.push_back(&S);
+    std::stable_sort(Top.begin(), Top.end(),
+                     [](const auto *A, const auto *B) {
+                       return A->TotalSeconds > B->TotalSeconds;
+                     });
+    size_t N = std::min<size_t>(Top.size(), 10);
+    std::printf("\ntop %zu spans by cumulative time:\n", N);
+    std::printf("  %-28s %10s %12s %12s\n", "span", "count", "total[s]",
+                "mean[ms]");
+    for (size_t I = 0; I < N; ++I) {
+      const MetricsDoc::SpanAgg &S = *Top[I];
+      std::printf("  %-28s %10llu %12.4f %12.4f\n", S.Name.c_str(),
+                  static_cast<unsigned long long>(S.Count),
+                  S.TotalSeconds,
+                  S.Count == 0 ? 0.0
+                               : 1e3 * S.TotalSeconds /
+                                     static_cast<double>(S.Count));
+    }
+    if (Top.size() > N)
+      std::printf("  (%zu more)\n", Top.size() - N);
+  }
+
+  for (const MetricsDoc::Hist &H : D.Histograms)
+    renderHistogram(H);
+
+  if (!D.Counters.empty()) {
+    std::printf("\ncounters:\n");
+    for (const auto &[Name, V] : D.Counters)
+      std::printf("  %-32s %llu\n", Name.c_str(),
+                  static_cast<unsigned long long>(V));
+  }
+  if (!D.Gauges.empty()) {
+    std::printf("\ngauges:\n");
+    for (const auto &[Name, V] : D.Gauges)
+      std::printf("  %-32s %g\n", Name.c_str(), V);
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -389,6 +483,16 @@ int main(int argc, char **argv) {
         return 2;
       }
       return renderResponse(Resp, BasePath);
+    }
+    if (Schema && Schema->isString() &&
+        Schema->asString() == MetricsSchemaName) {
+      MetricsDoc MD;
+      if (!fromJson(V, MD, &Err)) {
+        std::fprintf(stderr, "error: %s: %s\n", BasePath.c_str(),
+                     Err.c_str());
+        return 2;
+      }
+      return renderMetrics(MD, BasePath);
     }
     SweepDoc Doc;
     if (!fromJson(V, Doc, &Err)) {

@@ -24,6 +24,7 @@
 
 #include "wcs/serve/Server.h"
 #include "wcs/support/StringUtil.h"
+#include "wcs/support/Telemetry.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -46,6 +47,13 @@ void usage() {
       "  --max-connections N   connections served at once; further clients\n"
       "                        wait in the listen backlog (default 8,\n"
       "                        0 = unlimited)\n"
+      "  --log FILE            append one JSON line per served request\n"
+      "                        (hash, point counts, hit/miss split, queue\n"
+      "                        wait, compute time, outcome)\n"
+      "  --trace-json FILE     record spans while serving and write a\n"
+      "                        Chrome trace-event file on shutdown\n"
+      "  --metrics FILE        write a wcs-metrics v1 document (counters,\n"
+      "                        histograms, span aggregates) on shutdown\n"
       "client mode:\n"
       "  --client              submit a request instead of serving\n"
       "  --request FILE        wcs-request document to submit (from\n"
@@ -74,13 +82,13 @@ int runClient(const std::string &SocketPath, const std::string &RequestPath,
     return 0;
   }
   if (Status) {
-    json::Value Ack;
-    if (!requestStatus(SocketPath, Ack, &Err)) {
+    StatusDoc D;
+    if (!requestStatus(SocketPath, D, &Err)) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 1;
     }
     // Same stdout contract as a request: exactly one document, pretty.
-    std::printf("%s\n", Ack.dump(true).c_str());
+    std::printf("%s\n", toJson(D).dump(true).c_str());
     return 0;
   }
 
@@ -150,6 +158,7 @@ int runCompact(const std::string &StorePath, uint64_t MaxEntries) {
 
 int main(int argc, char **argv) {
   std::string SocketPath, StorePath, RequestPath, OutPath;
+  std::string LogPath, TracePath, MetricsPath;
   bool Client = false, Shutdown = false, Status = false, Compact = false;
   unsigned Jobs = 0, MaxConnections = 8;
   uint64_t MaxEntries = 0;
@@ -171,6 +180,12 @@ int main(int argc, char **argv) {
       RequestPath = Next();
     } else if (A == "--out") {
       OutPath = Next();
+    } else if (A == "--log") {
+      LogPath = Next();
+    } else if (A == "--trace-json") {
+      TracePath = Next();
+    } else if (A == "--metrics") {
+      MetricsPath = Next();
     } else if (A == "--client") {
       Client = true;
     } else if (A == "--shutdown") {
@@ -245,10 +260,32 @@ int main(int argc, char **argv) {
   SO.StorePath = StorePath;
   SO.Threads = Jobs;
   SO.MaxConnections = MaxConnections;
+  SO.LogPath = LogPath;
+  if (!TracePath.empty())
+    telemetry::enableTracing();
+  else if (!MetricsPath.empty())
+    telemetry::enableSpanAggregation();
   std::string Err;
   if (!runServer(SO, nullptr, &Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
+  }
+  if (!TracePath.empty()) {
+    if (!telemetry::writeTraceFile(TracePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wcs-serve: trace written to %s\n",
+                 TracePath.c_str());
+  }
+  if (!MetricsPath.empty()) {
+    MetricsDoc MD = telemetry::registry().snapshot("wcs-serve");
+    if (!writeMetricsFile(MetricsPath, MD, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wcs-serve: metrics written to %s\n",
+                 MetricsPath.c_str());
   }
   return 0;
 }

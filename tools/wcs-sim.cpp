@@ -33,9 +33,11 @@
 #include "wcs/frontend/Frontend.h"
 #include "wcs/polybench/Polybench.h"
 #include "wcs/support/StringUtil.h"
+#include "wcs/support/Telemetry.h"
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -98,8 +100,23 @@ void usage() {
       "                        fall back to full simulation)\n"
       "  --jobs N              simulate on N worker threads "
       "(default 1; 0 = all cores)\n"
+      "  --trace-json FILE     record spans (passes, recordings, jobs)\n"
+      "                        and write a Chrome trace-event file --\n"
+      "                        loadable in Perfetto -- on exit\n"
       "  --dump                print the program tree before simulating\n"
       "  --list                list the PolyBench kernels and exit\n");
+}
+
+/// --trace-json sink, written via atexit so EVERY exit path -- batch,
+/// sweep, early errors -- flushes the spans recorded so far.
+std::string TraceJsonPath;
+
+void writeTraceAtExit() {
+  std::string Err;
+  if (!telemetry::writeTraceFile(TraceJsonPath, &Err))
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+  else
+    std::fprintf(stderr, "trace    wrote %s\n", TraceJsonPath.c_str());
 }
 
 void printStats(const char *Tag, const SimStats &S) {
@@ -173,6 +190,12 @@ int main(int argc, char **argv) {
       File = Next();
     } else if (A == "--json") {
       JsonPath = Next();
+    } else if (A == "--trace-json") {
+      if (TraceJsonPath.empty()) {
+        telemetry::enableTracing();
+        std::atexit(writeTraceAtExit);
+      }
+      TraceJsonPath = Next();
     } else if (A == "--sweep") {
       Sweep = true;
     } else if (A == "--sweep-l1") {
