@@ -74,6 +74,17 @@ struct SweepRequest {
   /// is ignored by the serializers, see above.
   SweepOptions Options;
 
+  /// Serving deadline in seconds (0 = none). Enforced by the wcs-serve
+  /// scheduler from request admission: on expiry the daemon answers
+  /// with the points computed so far and honest "deadline exceeded"
+  /// errors for the rest. Serialized as "deadline_seconds" only when
+  /// set, so deadline-free requests hash as they always did; and it is
+  /// deliberately NOT part of sweepPointKey() -- a deadline changes how
+  /// long the daemon tries, never what a point means, so deadlined and
+  /// undeadlined requests share stored points. The serial
+  /// serveSweepRequest/CLI paths ignore it.
+  double DeadlineSeconds = 0.0;
+
   /// Label for the SweepDoc Program / SizeName fields: the kernel name
   /// (variant A) or SourceName (variant B); the size name, or "" for
   /// inline source.
@@ -149,6 +160,11 @@ struct SweepResponse {
   /// still parse.
   uint64_t InFlightHits = 0;
   uint64_t StoreEntries = 0; ///< Store size after serving this request.
+  /// With Error="overloaded" (admission-cap shedding): how long the
+  /// daemon suggests waiting before resubmitting, from its current
+  /// queue depth and measured per-point compute time. Serialized as
+  /// "retry_after_seconds" only when > 0; optional on read.
+  double RetryAfterSeconds = 0.0;
   SweepDoc Sweep;
 };
 

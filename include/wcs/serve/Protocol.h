@@ -84,6 +84,12 @@ struct StatusDoc {
   uint64_t ActiveConnections = 0;
   uint64_t MaxConnections = 0;
   double UptimeSeconds = 0.0;
+  /// Robustness counters; joined the v1 schema with deadline/shedding
+  /// support, so they are optional on read (0 from older daemons) but
+  /// always written.
+  uint64_t DeadlineExpired = 0;
+  uint64_t ShedRequests = 0;
+  uint64_t QueuedPoints = 0;
 };
 
 json::Value toJson(const StatusDoc &D);
@@ -93,27 +99,47 @@ bool fromJson(const json::Value &V, StatusDoc &Out, std::string *Err);
 // Socket plumbing (thin POSIX wrappers; fd < 0 = failure)
 //===----------------------------------------------------------------------===//
 
-/// Binds and listens on a Unix-domain stream socket at \p Path,
-/// unlinking a stale socket file first. Returns the listening fd or -1
-/// with a diagnostic.
+/// Binds and listens on a Unix-domain stream socket at \p Path.
+/// Probes the path with connect() first: a socket that answers means a
+/// live daemon owns it, and the call refuses with a "daemon already
+/// running" diagnostic instead of silently stealing it. A socket that
+/// refuses the probe is a stale file from a crashed daemon and is
+/// unlinked. Returns the listening fd or -1 with a diagnostic.
 int listenUnix(const std::string &Path, std::string *Err);
 
 /// Connects to the daemon at \p Path. Returns the fd or -1.
 int connectUnix(const std::string &Path, std::string *Err);
 
+/// Arms SO_RCVTIMEO/SO_SNDTIMEO on \p Fd so every blocking read and
+/// write gives up after \p Seconds (surfaced as a "timed out"
+/// diagnostic by sendLine/readLine). Seconds <= 0 is a no-op: the
+/// socket keeps blocking indefinitely.
+bool setSocketTimeout(int Fd, double Seconds, std::string *Err);
+
 /// Writes \p Line plus the '\n' frame, handling short writes.
 bool sendLine(int Fd, const std::string &Line, std::string *Err);
+
+/// A line without '\n' longer than this is a protocol violation (or a
+/// hostile peer); LineReader fails the connection instead of growing
+/// its buffer without bound. Compact request documents are far below
+/// this even with megabyte kernel sources inlined.
+inline constexpr size_t DefaultMaxLineBytes = 64u << 20; // 64 MiB
 
 /// Buffered '\n'-framed reader for one socket.
 class LineReader {
 public:
   explicit LineReader(int Fd) : Fd(Fd) {}
+  /// Caps the longest accepted line (see DefaultMaxLineBytes).
+  void setMaxLineBytes(size_t Bytes) { MaxLineBytes = Bytes; }
   /// Reads one line (without the '\n'). Returns false on EOF or error;
-  /// the two are told apart by \p Err, untouched on clean EOF.
+  /// the two are told apart by \p Err, untouched on clean EOF. A read
+  /// that exceeds the line cap or the socket's SO_RCVTIMEO fails with
+  /// a diagnostic.
   bool readLine(std::string &Out, std::string *Err);
 
 private:
   int Fd;
+  size_t MaxLineBytes = DefaultMaxLineBytes;
   std::string Buf;
 };
 
@@ -123,17 +149,52 @@ void closeFd(int Fd);
 // Client side
 //===----------------------------------------------------------------------===//
 
+/// Client-side retry behaviour for submitSweepRequest. Retrying a
+/// sweep request is always safe: requests are idempotent (results are
+/// content-addressed in the daemon's store), so a replay either hits
+/// the store or recomputes the same points.
+struct ClientRetryPolicy {
+  /// Extra attempts after the first (0 = the pre-retry behaviour:
+  /// one shot, fail on any transport error).
+  unsigned Retries = 0;
+  /// First backoff delay; doubles per attempt with jitter in
+  /// [0.5, 1.0) of the nominal value, capped at MaxBackoffSeconds.
+  double BaseBackoffSeconds = 0.1;
+  double MaxBackoffSeconds = 5.0;
+  /// Seeds the deterministic jitter sequence.
+  uint64_t JitterSeed = 1;
+  /// Socket timeout armed on the client connection (0 = none).
+  double IoTimeoutSeconds = 0.0;
+};
+
 /// Submits \p Req to the daemon at \p SocketPath and blocks until the
 /// final response line. Every wcs-progress line is surfaced through
 /// \p OnProgress (may be null). Returns false -- with a transport- or
 /// protocol-level diagnostic -- only when no well-formed response
 /// arrived; a response with Ok=false returns true (the failure is the
 /// daemon's answer, in \p Response).
+///
+/// Under \p Policy the client retries with bounded exponential backoff
+/// on connect/transport failures and on Error="overloaded" responses
+/// (sleeping at least the daemon's retry_after_seconds hint); any
+/// other daemon answer -- including Ok=false errors -- is final. Each
+/// retry bumps the `client.retries` telemetry counter.
 bool submitSweepRequest(const std::string &SocketPath,
                         const SweepRequest &Req, SweepResponse &Response,
                         const std::function<void(const ProgressEvent &)>
                             &OnProgress,
-                        std::string *Err);
+                        const ClientRetryPolicy &Policy, std::string *Err);
+
+/// One-shot submission (no retries, no socket timeout).
+inline bool submitSweepRequest(const std::string &SocketPath,
+                               const SweepRequest &Req,
+                               SweepResponse &Response,
+                               const std::function<void(const ProgressEvent &)>
+                                   &OnProgress,
+                               std::string *Err) {
+  return submitSweepRequest(SocketPath, Req, Response, OnProgress,
+                            ClientRetryPolicy(), Err);
+}
 
 /// Asks the daemon to shut down and waits for its ack.
 bool requestShutdown(const std::string &SocketPath, std::string *Err);

@@ -55,6 +55,13 @@ public:
 
   /// Inserts (or supersedes) the result for \p Key: appends one line
   /// to the log and updates the index. Last insert wins on reload.
+  /// A failed append (I/O error, injected store.write fault) returns
+  /// false WITHOUT updating the index -- the key stays a miss, so the
+  /// point is honestly recomputed later -- and marks the log tail
+  /// dirty: the on-disk bytes after the failure point cannot be
+  /// trusted, so further appends are refused until the store is
+  /// reopened (open() truncates the torn tail, recovering every line
+  /// before it). Lookups keep serving from memory throughout.
   bool insert(const std::string &Key, const SweepPoint &Point,
               std::string *Err);
 
@@ -69,6 +76,9 @@ public:
   uint64_t misses() const { return Misses; }
   /// Bytes dropped by torn-tail recovery at open() (0 = clean load).
   uint64_t recoveredBytes() const { return RecoveredBytes; }
+  /// True after a failed append: the log refuses further writes until
+  /// reopened (see insert()).
+  bool tailDirty() const { return TailDirty; }
   const std::string &path() const { return Path; }
 
 private:
@@ -87,6 +97,7 @@ private:
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t RecoveredBytes = 0;
+  bool TailDirty = false; ///< A failed append poisoned the log tail.
 };
 
 /// Renders one store log line (exposed for tests and external tooling

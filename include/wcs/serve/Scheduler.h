@@ -66,17 +66,27 @@ public:
     uint64_t PointsComputed = 0; ///< Points computed by scheduler jobs.
     uint64_t StoreHits = 0;      ///< Points answered from the store.
     uint64_t InFlightHits = 0;   ///< Points answered by subscription.
-    uint64_t CancelledJobs = 0;  ///< Queued jobs dropped on disconnect.
+    uint64_t CancelledJobs = 0;  ///< Queued jobs dropped on disconnect
+                                 ///< or deadline expiry.
+    uint64_t DeadlineExpired = 0; ///< Requests that hit their deadline.
+    uint64_t ShedRequests = 0;   ///< Requests refused by the admission cap.
     uint64_t ActiveRequests = 0; ///< serve() calls in flight right now.
     uint64_t QueuedJobs = 0;     ///< Jobs enqueued, not yet running.
+    uint64_t QueuedPoints = 0;   ///< Points in those queued jobs.
     uint64_t StoreEntries = 0;   ///< Live store size.
   };
 
   /// \p Threads sizes the worker pool (0 = all cores); workers start
   /// immediately. \p Store must outlive the scheduler and must not be
   /// touched by anyone else while it runs (the scheduler's lock is its
-  /// only serialization).
-  Scheduler(ResultStore &Store, unsigned Threads);
+  /// only serialization). \p MaxQueuedPoints caps admission (0 = no
+  /// cap): a request whose own to-compute points would push the queued
+  /// total past the cap is refused immediately with Error="overloaded"
+  /// and a retry_after_seconds hint -- store hits and subscriptions
+  /// cost no queue budget, so a request the store can answer is never
+  /// shed.
+  Scheduler(ResultStore &Store, unsigned Threads,
+            uint64_t MaxQueuedPoints = 0);
 
   /// Joins the pool. Precondition: no serve() call in flight (the
   /// server joins its connection threads first).
@@ -165,6 +175,13 @@ private:
     std::vector<ProgressEvent> Ready; ///< Completed, not yet streamed.
     std::condition_variable Cv;       ///< Signaled as results land.
     bool Cancelled = false;
+    /// Deadline enforcement (wcs-request deadline_seconds): measured
+    /// from serve() entry; on expiry the unshared queued jobs are
+    /// dropped like a disconnect, but the request stays alive and
+    /// answers with partial results.
+    bool HasDeadline = false;
+    telemetry::TimePoint Deadline;
+    bool DeadlineExpired = false;
     SweepReport Merged; ///< Accumulated per-job pass/partition figures.
     double QueueWaitSeconds = 0.0; ///< Summed as workers dequeue.
     double ComputeSeconds = 0.0;   ///< Summed as jobs complete.
@@ -172,7 +189,11 @@ private:
 
   bool nextJob(std::function<void()> &Task);
   void runJob(Job &J);
-  void cancelLocked(RequestState &RS);
+  /// Withdraws subscriptions and drops queued jobs no other request
+  /// wants, marking their points failed with \p Reason. Shared by the
+  /// disconnect-cancellation and deadline-expiry paths; the caller
+  /// sets the flag (Cancelled / DeadlineExpired) that says why.
+  void cancelLocked(RequestState &RS, const char *Reason);
 
   ResultStore &Store;
   BatchRunner Runner;
@@ -186,6 +207,14 @@ private:
   std::unordered_map<std::string, std::unique_ptr<PointState>> InFlight;
   uint64_t LastSerial = 0;
   uint64_t NumActive = 0;
+  /// Points inside queued (not yet dequeued) jobs; the admission cap's
+  /// measure of backlog. Credited at admission, debited at dequeue and
+  /// cancellation.
+  uint64_t QueuedPoints = 0;
+  uint64_t MaxQueuedPoints = 0; ///< 0 = unbounded.
+  /// Total job compute seconds ever; with Counters.PointsComputed this
+  /// gives the measured per-point cost behind retry_after_seconds.
+  double ComputeSecondsTotal = 0.0;
   bool Stopping = false;
   Stats Counters; ///< Cumulative fields only; snapshots fill the rest.
 

@@ -61,6 +61,26 @@ struct ServerOptions {
   /// (hash, point counts, hit/miss split, queue wait, compute and wall
   /// time, outcome), appended as each request finishes. Empty = off.
   std::string LogPath;
+  /// Socket timeout (SO_RCVTIMEO/SO_SNDTIMEO) armed on every accepted
+  /// connection: a client that never sends a complete request line, or
+  /// stops draining its progress stream, is disconnected after this
+  /// many seconds instead of parking a connection slot forever. 0 =
+  /// no timeout (the pre-hardening behaviour).
+  double IoTimeoutSeconds = 30.0;
+  /// Graceful-shutdown budget: once the accept loop stops (SIGTERM/
+  /// SIGINT or the wcs-control shutdown command), in-flight requests
+  /// get this long to finish; past it they are cancelled like client
+  /// disconnects so the daemon can exit. 0 = drain without a bound.
+  double DrainTimeoutSeconds = 0.0;
+  /// Scheduler admission cap, in queued-to-compute points (see
+  /// Scheduler): over-cap requests are answered Error="overloaded"
+  /// with a retry_after_seconds hint. 0 = unbounded.
+  uint64_t MaxQueuedPoints = 0;
+  /// Install SIGTERM/SIGINT handlers that stop accepting and drain
+  /// (restored on return). The wcs-serve tool turns this on; it stays
+  /// off by default because process-wide signal dispositions do not
+  /// belong in library code (gtest processes own theirs).
+  bool HandleSignals = false;
 };
 
 /// The daemon: open the store, start the shared scheduler, listen, and

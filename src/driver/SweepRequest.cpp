@@ -155,6 +155,13 @@ Value wcs::toJson(const SweepRequest &R) {
   Grid.set("inclusion", inclusionName(R.Inclusion));
   V.set("grid", std::move(Grid));
   V.set("options", optionsToJson(R.Options));
+  // Only when set: deadline-free requests must keep their historical
+  // bytes (and hash). The deadline lives at the top level, NOT in
+  // "options", because sweepPointKey() canonicalizes options -- a
+  // deadline bounds serving time without changing what a point means,
+  // so it must not split the store keyspace.
+  if (R.DeadlineSeconds > 0)
+    V.set("deadline_seconds", R.DeadlineSeconds);
   return V;
 }
 
@@ -201,6 +208,12 @@ bool wcs::fromJson(const Value &V, SweepRequest &Out, std::string *Err) {
   }
   if (!optionsFromJson(*Opts, R.Options, Err))
     return false;
+  // Joined the v1 schema with wcs-serve hardening: optional on read
+  // (0 = no deadline, what deadline-free documents say by omission).
+  if (!optDouble(V, "deadline_seconds", R.DeadlineSeconds, Err))
+    return false;
+  if (R.DeadlineSeconds < 0)
+    return failMsg(Err, "deadline_seconds must be non-negative");
   if (!validateSweepRequest(R, Err))
     return false;
   Out = std::move(R);
@@ -293,6 +306,8 @@ Value wcs::toJson(const SweepResponse &R) {
   V.set("store_misses", R.StoreMisses);
   V.set("inflight_hits", R.InFlightHits);
   V.set("store_entries", R.StoreEntries);
+  if (R.RetryAfterSeconds > 0)
+    V.set("retry_after_seconds", R.RetryAfterSeconds);
   if (R.Ok)
     V.set("sweep", toJson(R.Sweep));
   return V;
@@ -311,7 +326,10 @@ bool wcs::fromJson(const Value &V, SweepResponse &Out, std::string *Err) {
       // on read (0, which is what serial servers genuinely produce),
       // always written.
       !optUInt(V, "inflight_hits", R.InFlightHits, Err) ||
-      !needUInt(V, "store_entries", R.StoreEntries, Err))
+      !needUInt(V, "store_entries", R.StoreEntries, Err) ||
+      // "retry_after_seconds" rides on overload-shed responses only;
+      // optional on read like every field that joined v1 late.
+      !optDouble(V, "retry_after_seconds", R.RetryAfterSeconds, Err))
     return false;
   if (R.Ok) {
     const Value *Sweep;

@@ -7,12 +7,20 @@
 
 #include "wcs/serve/Protocol.h"
 
+#include "wcs/support/FaultInjection.h"
+#include "wcs/support/Hashing.h"
 #include "wcs/support/JsonReader.h"
+#include "wcs/support/Telemetry.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -71,6 +79,9 @@ Value wcs::toJson(const StatusDoc &D) {
   V.set("active_connections", D.ActiveConnections);
   V.set("max_connections", D.MaxConnections);
   V.set("uptime_seconds", D.UptimeSeconds);
+  V.set("deadline_expired", D.DeadlineExpired);
+  V.set("shed_requests", D.ShedRequests);
+  V.set("queued_points", D.QueuedPoints);
   return V;
 }
 
@@ -89,6 +100,12 @@ bool wcs::fromJson(const Value &V, StatusDoc &Out, std::string *Err) {
       !needUInt(V, "active_connections", D.ActiveConnections, Err) ||
       !needUInt(V, "max_connections", D.MaxConnections, Err) ||
       !needDouble(V, "uptime_seconds", D.UptimeSeconds, Err))
+    return false;
+  // Joined the v1 schema with deadline/shedding support: optional on
+  // read (0, what older daemons answer), always written.
+  if (!optUInt(V, "deadline_expired", D.DeadlineExpired, Err) ||
+      !optUInt(V, "shed_requests", D.ShedRequests, Err) ||
+      !optUInt(V, "queued_points", D.QueuedPoints, Err))
     return false;
   Out = D;
   return true;
@@ -123,6 +140,21 @@ int wcs::listenUnix(const std::string &Path, std::string *Err) {
   sockaddr_un Addr;
   if (!fillSockAddr(Path, Addr, Err))
     return -1;
+  // Probe before unlinking: a socket file that still answers connect()
+  // belongs to a live daemon, and stealing its path would silently
+  // split traffic between two stores. Any probe failure (ENOENT,
+  // ECONNREFUSED, ...) means no one is serving it -- stale file.
+  int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Probe >= 0) {
+    if (::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0) {
+      ::close(Probe);
+      failMsg(Err, "daemon already running at " + Path +
+                       " (socket answers; stop it or use --shutdown)");
+      return -1;
+    }
+    ::close(Probe);
+  }
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0) {
     failMsg(Err, sysErr("socket", Path));
@@ -155,7 +187,24 @@ int wcs::connectUnix(const std::string &Path, std::string *Err) {
   return Fd;
 }
 
+bool wcs::setSocketTimeout(int Fd, double Seconds, std::string *Err) {
+  if (Seconds <= 0)
+    return true;
+  timeval Tv;
+  Tv.tv_sec = static_cast<time_t>(Seconds);
+  Tv.tv_usec = static_cast<suseconds_t>((Seconds - double(Tv.tv_sec)) * 1e6);
+  if (Tv.tv_sec == 0 && Tv.tv_usec == 0)
+    Tv.tv_usec = 1; // A zero timeval means "block forever"; round up.
+  if (::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) < 0 ||
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv)) < 0)
+    return failMsg(Err,
+                   std::string("setsockopt timeout: ") + std::strerror(errno));
+  return true;
+}
+
 bool wcs::sendLine(int Fd, const std::string &Line, std::string *Err) {
+  if (faultinject::shouldFail("socket.send"))
+    return failMsg(Err, "send: injected fault (socket.send)");
   std::string Framed = Line + '\n';
   size_t Sent = 0;
   while (Sent < Framed.size()) {
@@ -167,6 +216,9 @@ bool wcs::sendLine(int Fd, const std::string &Line, std::string *Err) {
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return failMsg(Err, "send: timed out (SO_SNDTIMEO; peer not "
+                            "draining)");
       return failMsg(Err, std::string("send: ") + std::strerror(errno));
     }
     Sent += static_cast<size_t>(N);
@@ -175,6 +227,8 @@ bool wcs::sendLine(int Fd, const std::string &Line, std::string *Err) {
 }
 
 bool LineReader::readLine(std::string &Out, std::string *Err) {
+  if (faultinject::shouldFail("socket.recv"))
+    return failMsg(Err, "recv: injected fault (socket.recv)");
   for (;;) {
     size_t NL = Buf.find('\n');
     if (NL != std::string::npos) {
@@ -182,11 +236,18 @@ bool LineReader::readLine(std::string &Out, std::string *Err) {
       Buf.erase(0, NL + 1);
       return true;
     }
+    if (Buf.size() > MaxLineBytes)
+      return failMsg(Err, "line exceeds " + std::to_string(MaxLineBytes) +
+                              " bytes without a frame; closing (raise the "
+                              "cap if the peer is trusted)");
     char Chunk[4096];
     ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return failMsg(Err, "recv: timed out (SO_RCVTIMEO; peer sent no "
+                            "complete line in time)");
       return failMsg(Err, std::string("recv: ") + std::strerror(errno));
     }
     if (N == 0)
@@ -204,15 +265,18 @@ void wcs::closeFd(int Fd) {
 // Client side
 //===----------------------------------------------------------------------===//
 
-bool wcs::submitSweepRequest(
-    const std::string &SocketPath, const SweepRequest &Req,
-    SweepResponse &Response,
-    const std::function<void(const ProgressEvent &)> &OnProgress,
-    std::string *Err) {
+namespace {
+
+/// One submission attempt: the pre-retry submitSweepRequest body.
+bool submitOnce(const std::string &SocketPath, const SweepRequest &Req,
+                SweepResponse &Response,
+                const std::function<void(const ProgressEvent &)> &OnProgress,
+                double IoTimeoutSeconds, std::string *Err) {
   int Fd = connectUnix(SocketPath, Err);
   if (Fd < 0)
     return false;
-  if (!sendLine(Fd, toJson(Req).dump(false), Err)) {
+  if (!setSocketTimeout(Fd, IoTimeoutSeconds, Err) ||
+      !sendLine(Fd, toJson(Req).dump(false), Err)) {
     closeFd(Fd);
     return false;
   }
@@ -251,6 +315,46 @@ bool wcs::submitSweepRequest(
                             ? *Err
                             : "daemon closed without a response");
   return true;
+}
+
+} // namespace
+
+bool wcs::submitSweepRequest(
+    const std::string &SocketPath, const SweepRequest &Req,
+    SweepResponse &Response,
+    const std::function<void(const ProgressEvent &)> &OnProgress,
+    const ClientRetryPolicy &Policy, std::string *Err) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (Err)
+      Err->clear(); // A stale diagnostic from a retried attempt lies.
+    bool Answered =
+        submitOnce(SocketPath, Req, Response, OnProgress,
+                   Policy.IoTimeoutSeconds, Err);
+    // Retrying is safe -- content addressing makes requests idempotent
+    // -- but only two outcomes warrant it: no answer at all (connect or
+    // transport failure), or the daemon explicitly asking for a retry
+    // by shedding. Every other response, Ok or not, is the answer.
+    bool Overloaded =
+        Answered && !Response.Ok && Response.Error == "overloaded";
+    if (Answered && !Overloaded)
+      return true;
+    if (Attempt >= Policy.Retries)
+      return Answered; // Out of retries: the shed response (or the
+                       // transport failure) stands.
+    double Nominal = Policy.BaseBackoffSeconds *
+                     double(uint64_t(1) << std::min(Attempt, 30u));
+    Nominal = std::min(Nominal, Policy.MaxBackoffSeconds);
+    // Deterministic jitter in [0.5, 1.0) of the nominal delay keeps a
+    // herd of restarted clients from re-converging on the daemon.
+    uint64_t Bits = hashCombine(hashMix(Policy.JitterSeed), Attempt);
+    double Jitter =
+        0.5 + 0.5 * (double(Bits >> 11) * (1.0 / 9007199254740992.0));
+    double Delay = Nominal * Jitter;
+    if (Overloaded && Response.RetryAfterSeconds > 0)
+      Delay = std::max(Delay, Response.RetryAfterSeconds);
+    telemetry::registry().counter("client.retries").add();
+    std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
+  }
 }
 
 namespace {

@@ -7,6 +7,7 @@
 
 #include "wcs/serve/ResultStore.h"
 
+#include "wcs/support/FaultInjection.h"
 #include "wcs/support/Hashing.h"
 #include "wcs/support/JsonReader.h"
 
@@ -55,6 +56,7 @@ bool ResultStore::open(const std::string &OpenPath, std::string *Err) {
   Index.clear();
   NextSeq = 0;
   Hits = Misses = RecoveredBytes = 0;
+  TailDirty = false;
   if (Path.empty())
     return true;
 
@@ -132,13 +134,34 @@ bool ResultStore::lookup(const std::string &Key, SweepPoint &Out) {
 bool ResultStore::appendLine(const Entry &E, std::string *Err) {
   if (Path.empty())
     return true;
+  if (TailDirty)
+    // A previous append failed partway, so the bytes at the end of the
+    // log are not a clean line boundary. Appending after them would
+    // merge into the torn fragment and -- unlike a real crash, which
+    // stops the writer -- poison every later line for replay. Refuse
+    // until a reopen truncates the tear.
+    return failMsg(Err, Path + ": refusing append after a failed write "
+                        "(torn tail; reopen to recover)");
   std::ofstream Out(Path, std::ios::binary | std::ios::app);
   if (!Out.is_open())
     return failMsg(Err, Path + ": cannot append");
+  if (faultinject::shouldFail("store.write")) {
+    // Crash-equivalent tear: write a prefix of the line, no '\n', and
+    // fail. The next open() sees exactly what a daemon killed mid-
+    // append leaves behind and truncates it.
+    std::string Line = resultStoreLine(E.Key, E.Point);
+    Out.write(Line.data(), static_cast<std::streamsize>(Line.size() / 2));
+    Out.flush();
+    TailDirty = true;
+    return failMsg(Err, Path + ": injected fault (store.write), torn "
+                        "append");
+  }
   Out << resultStoreLine(E.Key, E.Point) << '\n';
   Out.flush();
-  if (!Out)
+  if (!Out) {
+    TailDirty = true;
     return failMsg(Err, Path + ": append failed");
+  }
   return true;
 }
 

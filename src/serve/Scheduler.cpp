@@ -7,8 +7,13 @@
 
 #include "wcs/serve/Scheduler.h"
 
+#include "wcs/support/FaultInjection.h"
+
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_set>
 
 using namespace wcs;
 
@@ -28,8 +33,9 @@ ProgressEvent makeEvent(uint64_t Serial, size_t Total, size_t I,
 
 } // namespace
 
-Scheduler::Scheduler(ResultStore &Store, unsigned Threads)
-    : Store(Store), Runner(Threads) {
+Scheduler::Scheduler(ResultStore &Store, unsigned Threads,
+                     uint64_t MaxQueuedPoints)
+    : Store(Store), Runner(Threads), MaxQueuedPoints(MaxQueuedPoints) {
   PoolThreads = Runner.threads();
   Runner.startPool(
       [this](std::function<void()> &Task) { return nextJob(Task); });
@@ -59,6 +65,7 @@ bool Scheduler::nextJob(std::function<void()> &Task) {
     RoundRobin.pop_front();
     J = std::move(RS->Queue.front());
     RS->Queue.pop_front();
+    QueuedPoints -= J.PointIdx.size(); // Dequeued: no longer backlog.
     if (!RS->Queue.empty())
       RoundRobin.push_back(RS);
     QueueWait = telemetry::secondsSince(J.Enqueued);
@@ -91,6 +98,8 @@ void Scheduler::runJob(Job &J) {
   bool Threw = false;
   std::string ThrowErr;
   try {
+    if (faultinject::shouldFail("scheduler.job"))
+      throw std::runtime_error("injected fault (scheduler.job)");
     Rep = runSweep(*RS->Program, J.Configs, RS->SO);
   } catch (const std::exception &E) {
     Threw = true;
@@ -118,14 +127,22 @@ void Scheduler::runJob(Job &J) {
   PublishSpan.arg("points", static_cast<uint64_t>(J.PointIdx.size()));
   std::lock_guard<std::mutex> L(Mu);
   RS->ComputeSeconds += Compute;
+  ComputeSecondsTotal += Compute;
   mergeSweepReports(RS->Merged, Rep);
   for (size_t G = 0; G < J.PointIdx.size(); ++G) {
     size_t I = J.PointIdx[G];
     const SweepPoint &P = Rep.Points[G];
     // THE single writer: every insert in the process happens here,
-    // under Mu, no matter which request raced the key in.
-    if (P.Ok)
-      Store.insert(RS->Keys[I], P, nullptr);
+    // under Mu, no matter which request raced the key in. An insert
+    // failure (disk error, injected fault) is never fatal to the
+    // request -- the freshly computed point is still delivered; it is
+    // just not persisted, so a later request recomputes it.
+    std::string StoreErr;
+    if (P.Ok && !Store.insert(RS->Keys[I], P, &StoreErr)) {
+      telemetry::registry().counter("store.insert_failed").add();
+      std::fprintf(stderr, "wcs-serve: store insert failed: %s\n",
+                   StoreErr.c_str());
+    }
     ++Counters.PointsComputed;
     RS->Points[I] = P;
     RS->Ready.push_back(makeEvent(RS->Serial, RS->Total, I, P));
@@ -153,8 +170,7 @@ void Scheduler::runJob(Job &J) {
   RS->Cv.notify_all();
 }
 
-void Scheduler::cancelLocked(RequestState &RS) {
-  RS.Cancelled = true;
+void Scheduler::cancelLocked(RequestState &RS, const char *Reason) {
   // Withdraw subscriptions first -- both from other requests' points
   // (their owners keep going; the result still lands in the store) and
   // from this grid's own duplicate points, so a self-subscription
@@ -194,8 +210,10 @@ void Scheduler::cancelLocked(RequestState &RS) {
       size_t I = J.PointIdx[G];
       InFlight.erase(RS.Keys[I]);
       RS.Points[I].Cache = J.Configs[G];
-      RS.Points[I].Error = "cancelled: client disconnected";
+      RS.Points[I].Backend = RS.SO.Backend;
+      RS.Points[I].Error = Reason;
     }
+    QueuedPoints -= J.PointIdx.size();
     ++Counters.CancelledJobs;
     telemetry::registry().counter("scheduler.jobs_cancelled").add();
     --RS.JobsOutstanding;
@@ -241,39 +259,87 @@ SweepResponse Scheduler::serve(
   RS.Total = Prep.Configs.size();
   RS.Points.resize(RS.Total);
   RS.Keys.resize(RS.Total);
+  RS.HasDeadline = Req.DeadlineSeconds > 0;
+  if (RS.HasDeadline)
+    RS.Deadline = W0 + std::chrono::duration_cast<
+                           telemetry::TimePoint::duration>(
+                           std::chrono::duration<double>(
+                               Req.DeadlineSeconds));
 
   std::vector<ProgressEvent> HitEvents;
+  bool Shed = false;
   {
     telemetry::Span AdmitSpan("serve.admission");
     std::lock_guard<std::mutex> L(Mu);
     RS.Serial = ++LastSerial;
     ++NumActive;
-    std::vector<size_t> Owned;
+    // Pass 1: resolve store hits and count the points this request
+    // would have to compute itself (subscriptions ride on another
+    // request's queue budget). Nothing is registered yet, so an
+    // over-cap request can be refused without leaving any in-flight
+    // state behind.
+    std::vector<char> Answered(RS.Total, 0);
+    std::unordered_set<std::string> WouldOwn;
     for (size_t I = 0; I < RS.Total; ++I) {
       RS.Keys[I] = sweepPointKey(Req, Prep.Configs[I]);
       SweepPoint Hit;
       if (Store.lookup(RS.Keys[I], Hit)) {
         Hit.Method = SweepMethod::Store;
         RS.Points[I] = std::move(Hit);
+        Answered[I] = 1;
         ++Resp.StoreHits;
         HitEvents.push_back(
             makeEvent(RS.Serial, RS.Total, I, RS.Points[I]));
         continue;
       }
-      auto It = InFlight.find(RS.Keys[I]);
-      if (It != InFlight.end()) {
-        // Someone -- another request, or an earlier duplicate point of
-        // this very grid -- is already computing this key: subscribe.
-        It->second->Subscribers.emplace_back(&RS, I);
-        ++RS.PendingSubscriptions;
-        RS.SubscribedKeys.push_back(RS.Keys[I]);
-        ++Resp.InFlightHits;
-        continue;
-      }
-      InFlight.emplace(RS.Keys[I], std::make_unique<PointState>());
-      Owned.push_back(I);
+      if (!InFlight.count(RS.Keys[I]))
+        WouldOwn.insert(RS.Keys[I]);
     }
-    Resp.StoreMisses = Owned.size();
+    if (MaxQueuedPoints != 0 && !WouldOwn.empty() &&
+        QueuedPoints + WouldOwn.size() > MaxQueuedPoints) {
+      // Overloaded: answer immediately instead of growing the backlog
+      // without bound. The hint scales with the backlog's measured
+      // per-point compute cost; a fresh daemon guesses conservatively.
+      Shed = true;
+      ++Counters.ShedRequests;
+      ++Counters.RequestsServed;
+      --NumActive;
+      telemetry::registry().counter("serve.shed").add();
+      Resp.StoreHits = 0; // Nothing was answered, hits included.
+      Resp.Error = "overloaded";
+      Resp.StoreEntries = Store.numEntries();
+      double AvgPointSeconds =
+          Counters.PointsComputed != 0
+              ? ComputeSecondsTotal / double(Counters.PointsComputed)
+              : 0.05;
+      double Est = double(QueuedPoints) * AvgPointSeconds /
+                   double(PoolThreads != 0 ? PoolThreads : 1);
+      Resp.RetryAfterSeconds = std::min(10.0, std::max(0.05, Est));
+      AdmitSpan.arg("shed", uint64_t(1));
+    }
+    std::vector<size_t> Owned;
+    if (!Shed) {
+      // Pass 2: admitted -- register subscriptions and take ownership
+      // of the rest, exactly as before the cap existed.
+      for (size_t I = 0; I < RS.Total; ++I) {
+        if (Answered[I])
+          continue;
+        auto It = InFlight.find(RS.Keys[I]);
+        if (It != InFlight.end()) {
+          // Someone -- another request, or an earlier duplicate point
+          // of this very grid -- is already computing this key:
+          // subscribe.
+          It->second->Subscribers.emplace_back(&RS, I);
+          ++RS.PendingSubscriptions;
+          RS.SubscribedKeys.push_back(RS.Keys[I]);
+          ++Resp.InFlightHits;
+          continue;
+        }
+        InFlight.emplace(RS.Keys[I], std::make_unique<PointState>());
+        Owned.push_back(I);
+      }
+      Resp.StoreMisses = Owned.size();
+    }
     if (!Owned.empty()) {
       std::vector<HierarchyConfig> OwnedCfgs;
       OwnedCfgs.reserve(Owned.size());
@@ -294,6 +360,7 @@ SweepResponse Scheduler::serve(
         RS.Queue.push_back(std::move(J));
       }
       RS.JobsOutstanding = RS.Queue.size();
+      QueuedPoints += Owned.size();
       RoundRobin.push_back(&RS);
       telemetry::registry()
           .counter("scheduler.jobs_enqueued")
@@ -307,6 +374,11 @@ SweepResponse Scheduler::serve(
       telemetry::registry()
           .counter("scheduler.inflight_subscriptions")
           .add(Resp.InFlightHits);
+  }
+  if (Shed) {
+    if (Tel)
+      Tel->WallSeconds = telemetry::secondsSince(W0);
+    return Resp;
   }
   WorkCv.notify_all();
 
@@ -332,8 +404,22 @@ SweepResponse Scheduler::serve(
 
   std::unique_lock<std::mutex> L(Mu);
   for (;;) {
-    if (!Alive && !RS.Cancelled)
-      cancelLocked(RS);
+    if (!Alive && !RS.Cancelled) {
+      RS.Cancelled = true;
+      cancelLocked(RS, "cancelled: client disconnected");
+    }
+    // Deadline expiry reuses the cancellation path for the backlog --
+    // queued jobs nobody else wants are dropped, subscriptions
+    // withdrawn -- but the request stays alive: jobs already running
+    // finish and their points are returned.
+    if (Alive && RS.HasDeadline && !RS.DeadlineExpired && !RS.Cancelled &&
+        (RS.JobsOutstanding != 0 || RS.PendingSubscriptions != 0) &&
+        telemetry::now() >= RS.Deadline) {
+      RS.DeadlineExpired = true;
+      cancelLocked(RS, "deadline exceeded");
+      ++Counters.DeadlineExpired;
+      telemetry::registry().counter("serve.deadline_expired").add();
+    }
     if (!RS.Ready.empty()) {
       std::vector<ProgressEvent> Batch;
       Batch.swap(RS.Ready);
@@ -391,6 +477,22 @@ SweepResponse Scheduler::serve(
     Resp.Error = "cancelled: client disconnected";
     return Resp;
   }
+  if (RS.DeadlineExpired) {
+    // Partial answer, honestly labeled: every point the deadline cut
+    // off -- dropped jobs and withdrawn subscriptions alike -- carries
+    // Ok=false, Error="deadline exceeded"; points that did land are
+    // returned verbatim. Resp.Ok stays true (this IS the answer) and
+    // Resp.Error names the degradation.
+    for (size_t I = 0; I < RS.Total; ++I) {
+      SweepPoint &P = RS.Points[I];
+      if (!P.Ok && P.Error.empty()) {
+        P.Cache = Prep.Configs[I];
+        P.Backend = RS.SO.Backend;
+        P.Error = "deadline exceeded";
+      }
+    }
+    Resp.Error = "deadline exceeded";
+  }
   SweepReport Merged = std::move(RS.Merged);
   Merged.Points = std::move(RS.Points);
   L.unlock();
@@ -407,6 +509,7 @@ Scheduler::Stats Scheduler::stats() const {
   S.QueuedJobs = 0;
   for (const RequestState *RS : RoundRobin)
     S.QueuedJobs += RS->Queue.size();
+  S.QueuedPoints = QueuedPoints;
   S.StoreEntries = Store.numEntries();
   return S;
 }

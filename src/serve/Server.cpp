@@ -12,8 +12,11 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -123,6 +126,9 @@ struct ServerState {
   std::condition_variable Cv; ///< Capacity freed / shutdown requested.
   unsigned Active = 0;
   bool ShuttingDown = false;
+  /// Set when the drain timeout expires: every in-flight request's
+  /// IsCancelled turns true, so they wind down like disconnects.
+  std::atomic<bool> DrainExpired{false};
 
   /// The --log sink: one compact JSON object per request, its own lock
   /// so a slow disk never blocks the accept loop.
@@ -135,6 +141,22 @@ struct ServerState {
   };
   std::list<std::unique_ptr<ConnSlot>> Conns;
 };
+
+/// SIGTERM/SIGINT -> graceful drain. Handlers may run on any thread,
+/// so everything here is async-signal-safe: set a flag, then
+/// ::shutdown() the listening socket -- that wakes a blocked accept()
+/// no matter which thread owns it. The accept loop translates the flag
+/// into the same ShuttingDown path the wcs-control shutdown command
+/// takes.
+std::atomic<int> SignalListenFd{-1};
+std::atomic<bool> SignalStop{false};
+
+void onShutdownSignal(int) {
+  SignalStop.store(true);
+  int Fd = SignalListenFd.load();
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
 
 /// Appends the request's JSON-lines log record (under LogMu; fflush so
 /// a crash or kill -9 loses at most the line being written).
@@ -206,6 +228,9 @@ void serveConnection(int Fd, ServerState &S) {
       D.ActiveRequests = St.ActiveRequests;
       D.QueuedJobs = St.QueuedJobs;
       D.StoreEntries = St.StoreEntries;
+      D.DeadlineExpired = St.DeadlineExpired;
+      D.ShedRequests = St.ShedRequests;
+      D.QueuedPoints = St.QueuedPoints;
       {
         std::lock_guard<std::mutex> L(S.Mu);
         // This connection is one of the active ones.
@@ -251,8 +276,10 @@ void serveConnection(int Fd, ServerState &S) {
       if (N > 0)
         continue; // Protocol violation (nothing follows the request
                   // line); ignore rather than misread it as an EOF.
-      if (N < 0 && errno == EINTR)
-        continue;
+      if (N < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK))
+        continue; // EAGAIN: just the connection's SO_RCVTIMEO ticking
+                  // on an idle-but-live socket, NOT a disconnect.
       break; // EOF or error: the peer is gone, or we are done with it.
     }
     Gone.store(true);
@@ -264,7 +291,12 @@ void serveConnection(int Fd, ServerState &S) {
       [Fd](const ProgressEvent &E) {
         return sendLine(Fd, toJson(E).dump(false), nullptr);
       },
-      [&Gone] { return Gone.load(); }, &Tel);
+      [&Gone, &S] { return Gone.load() || S.DrainExpired.load(); }, &Tel);
+  // A request cut short by the drain timeout was cancelled by the
+  // server, not the client; say so.
+  if (!Resp.Ok && S.DrainExpired.load() &&
+      Resp.Error == "cancelled: client disconnected")
+    Resp.Error = "cancelled: server shutting down (drain timeout)";
   sendLine(Fd, toJson(Resp).dump(false), nullptr);
   // Wake the watcher (its recv returns 0 once the read side shuts) and
   // reap it before the fd closes.
@@ -313,7 +345,7 @@ bool wcs::runServer(const ServerOptions &Opts,
 
   // From here on the store belongs to the scheduler: every lookup and
   // insert -- from any connection -- goes through its lock.
-  Scheduler Sched(Store, Opts.Threads);
+  Scheduler Sched(Store, Opts.Threads, Opts.MaxQueuedPoints);
   ServerState St;
   St.Sched = &Sched;
   St.MaxConnections = Opts.MaxConnections;
@@ -330,6 +362,24 @@ bool wcs::runServer(const ServerOptions &Opts,
     }
   }
 
+  // Signal-driven shutdown takes the exact same drain path as the
+  // wcs-control shutdown command. Installed only on request (the tool
+  // asks; tests do not), and restored on return.
+  struct sigaction OldTerm, OldInt;
+  bool SignalsInstalled = false;
+  if (Opts.HandleSignals) {
+    SignalStop.store(false);
+    SignalListenFd.store(Listen);
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = onShutdownSignal;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = 0; // No SA_RESTART: a blocked accept() must wake.
+    ::sigaction(SIGTERM, &SA, &OldTerm);
+    ::sigaction(SIGINT, &SA, &OldInt);
+    SignalsInstalled = true;
+  }
+
   std::fprintf(stderr,
                "wcs-serve: listening on %s (%zu stored entries, %u "
                "workers, %u connections max)\n",
@@ -342,16 +392,27 @@ bool wcs::runServer(const ServerOptions &Opts,
   for (;;) {
     {
       std::unique_lock<std::mutex> L(St.Mu);
-      St.Cv.wait(L, [&] {
-        return St.ShuttingDown || St.MaxConnections == 0 ||
-               St.Active < St.MaxConnections;
-      });
+      // Timed wait, not wait(): a signal handler cannot safely notify
+      // a condition variable, so SignalStop is polled while parked at
+      // max capacity.
+      while (!(St.ShuttingDown || SignalStop.load() ||
+               St.MaxConnections == 0 || St.Active < St.MaxConnections))
+        St.Cv.wait_for(L, std::chrono::milliseconds(100));
       reapLocked(St);
+      if (SignalStop.load())
+        St.ShuttingDown = true;
       if (St.ShuttingDown)
         break;
     }
     int Fd = ::accept(Listen, nullptr, nullptr);
     if (Fd < 0) {
+      if (SignalStop.load()) {
+        std::fprintf(stderr,
+                     "wcs-serve: received shutdown signal, draining\n");
+        std::lock_guard<std::mutex> L(St.Mu);
+        St.ShuttingDown = true;
+        break;
+      }
       if (errno == EINTR)
         continue;
       std::lock_guard<std::mutex> L(St.Mu);
@@ -363,9 +424,11 @@ bool wcs::runServer(const ServerOptions &Opts,
       St.ShuttingDown = true;
       break;
     }
+    setSocketTimeout(Fd, Opts.IoTimeoutSeconds, nullptr);
     std::lock_guard<std::mutex> L(St.Mu);
-    if (St.ShuttingDown) {
+    if (St.ShuttingDown || SignalStop.load()) {
       closeFd(Fd);
+      St.ShuttingDown = true;
       break;
     }
     ++St.Active;
@@ -387,6 +450,33 @@ bool wcs::runServer(const ServerOptions &Opts,
 
   // Drain: every connection thread finishes its request (the shutdown
   // ack'ed connection included) before the scheduler and store go away.
+  // Under a drain timeout, requests still running past the budget are
+  // cancelled (DrainExpired flows into their IsCancelled within one
+  // scheduler poll tick), after which the joins below complete fast.
+  telemetry::TimePoint DrainStart = telemetry::now();
+  if (Opts.DrainTimeoutSeconds > 0) {
+    std::unique_lock<std::mutex> L(St.Mu);
+    telemetry::TimePoint Deadline =
+        DrainStart + std::chrono::duration_cast<
+                         telemetry::TimePoint::duration>(
+                         std::chrono::duration<double>(
+                             Opts.DrainTimeoutSeconds));
+    auto AllDone = [&St] {
+      for (const auto &C : St.Conns)
+        if (!C->Done.load())
+          return false;
+      return true;
+    };
+    while (!AllDone() && telemetry::now() < Deadline)
+      St.Cv.wait_for(L, std::chrono::milliseconds(50));
+    if (!AllDone()) {
+      St.DrainExpired.store(true);
+      std::fprintf(stderr,
+                   "wcs-serve: drain timeout (%.1fs) expired, "
+                   "cancelling in-flight requests\n",
+                   Opts.DrainTimeoutSeconds);
+    }
+  }
   for (;;) {
     std::unique_ptr<ServerState::ConnSlot> Slot;
     {
@@ -397,6 +487,14 @@ bool wcs::runServer(const ServerOptions &Opts,
       St.Conns.pop_front();
     }
     Slot->T.join();
+  }
+  telemetry::registry()
+      .gauge("serve.drain_seconds")
+      .set(telemetry::secondsSince(DrainStart));
+  if (SignalsInstalled) {
+    ::sigaction(SIGTERM, &OldTerm, nullptr);
+    ::sigaction(SIGINT, &OldInt, nullptr);
+    SignalListenFd.store(-1);
   }
   closeFd(Listen);
   ::unlink(Opts.SocketPath.c_str());

@@ -459,4 +459,131 @@ TEST(Scheduler, SeededConcurrentStressMatchesReference) {
             CounterDelta("scheduler.jobs_dequeued"));
 }
 
+// A deadline that fires mid-compute yields a PARTIAL answer: Ok=true
+// (this is the answer), Resp.Error names the degradation, every
+// finished point is bit-identical to a fresh run, and every cut-off
+// point carries an honest per-point error -- no silent gaps.
+TEST(Scheduler, DeadlineExpiredMidComputeReturnsPartialResults) {
+  ResultStore Ref, Store;
+  std::string Err;
+  ASSERT_TRUE(Ref.open("", &Err)) << Err;
+  ASSERT_TRUE(Store.open("", &Err)) << Err;
+
+  SweepResponse Serial =
+      serveSweepRequest(fifoRequest({1024, 2048}), Ref, 1, nullptr);
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+  std::map<std::string, std::string> Expect;
+  for (const SweepPoint &P : Serial.Sweep.Points)
+    Expect[P.Cache.str()] = counters(P);
+
+  MetricsDoc MBefore = telemetry::registry().snapshot("test");
+  // ONE worker: the first job is dequeued and held in the observer;
+  // the second is still queued when the deadline fires and must be
+  // dropped unrun.
+  Scheduler Sched(Store, 1);
+  Gate Release;
+  std::atomic<unsigned> Started{0};
+  Sched.setJobObserver([&](uint64_t, size_t) {
+    if (Started.fetch_add(1) == 0)
+      Release.wait();
+  });
+
+  SweepRequest Req = fifoRequest({1024, 2048});
+  Req.DeadlineSeconds = 0.2;
+  SweepResponse Resp;
+  std::thread A([&] { Resp = Sched.serve(Req, nullptr); });
+  ASSERT_TRUE(waitFor([&] { return Started.load() == 1; }));
+  ASSERT_TRUE(
+      waitFor([&] { return Sched.stats().DeadlineExpired == 1; }));
+  // The running job survives expiry: release it and let it finish.
+  Release.open();
+  A.join();
+
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_EQ(Resp.Error, "deadline exceeded");
+  ASSERT_EQ(Resp.Sweep.Points.size(), 2u);
+  size_t OkPoints = 0, Expired = 0;
+  for (const SweepPoint &P : Resp.Sweep.Points) {
+    if (P.Ok) {
+      ++OkPoints;
+      auto It = Expect.find(P.Cache.str());
+      ASSERT_NE(It, Expect.end()) << P.Cache.str();
+      EXPECT_EQ(counters(P), It->second) << P.Cache.str();
+    } else {
+      ++Expired;
+      EXPECT_EQ(P.Error, "deadline exceeded");
+      EXPECT_FALSE(P.Cache.str().empty()) << "cut-off point lost its config";
+    }
+  }
+  EXPECT_EQ(OkPoints, 1u); // The job that was already running landed...
+  EXPECT_EQ(Expired, 1u);  // ...the queued one was cut off, honestly.
+
+  Scheduler::Stats St = Sched.stats();
+  EXPECT_EQ(St.DeadlineExpired, 1u);
+  EXPECT_EQ(St.CancelledJobs, 1u);
+  EXPECT_EQ(St.PointsComputed, 1u);
+  MetricsDoc MAfter = telemetry::registry().snapshot("test");
+  EXPECT_EQ(MAfter.counter("serve.deadline_expired") -
+                MBefore.counter("serve.deadline_expired"),
+            1u);
+}
+
+// The admission cap refuses requests that would grow the compute queue
+// past --max-queued-points -- immediately, with a retry hint, and
+// without leaving any in-flight registration behind.
+TEST(Scheduler, AdmissionCapShedsOverloadedRequests) {
+  ResultStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open("", &Err)) << Err;
+
+  MetricsDoc MBefore = telemetry::registry().snapshot("test");
+  Scheduler Sched(Store, 1, /*MaxQueuedPoints=*/4);
+  Gate Release;
+  std::atomic<unsigned> Started{0};
+  Sched.setJobObserver([&](uint64_t, size_t) {
+    if (Started.fetch_add(1) == 0)
+      Release.wait();
+  });
+
+  // A owns 4 points; the worker holds the first job, so 3 stay queued.
+  SweepResponse Big;
+  std::thread A([&] {
+    Big = Sched.serve(fifoRequest({1024, 2048, 4096, 8192}), nullptr);
+  });
+  ASSERT_TRUE(waitFor([&] { return Started.load() == 1; }));
+
+  // B would add 2 fresh points: 3 queued + 2 > 4, so it is shed.
+  SweepRequest Small = fifoRequest({512, 16384});
+  SweepResponse Resp = Sched.serve(Small, nullptr);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error, "overloaded");
+  EXPECT_GT(Resp.RetryAfterSeconds, 0.0);
+  // Shed means NOTHING was answered, store hits included.
+  EXPECT_EQ(Resp.StoreHits + Resp.StoreMisses + Resp.InFlightHits, 0u);
+
+  // The overloaded response survives the wire format, hint and all.
+  SweepResponse Round;
+  ASSERT_TRUE(fromJson(toJson(Resp), Round, &Err)) << Err;
+  EXPECT_FALSE(Round.Ok);
+  EXPECT_EQ(Round.Error, "overloaded");
+  EXPECT_EQ(Round.RetryAfterSeconds, Resp.RetryAfterSeconds);
+
+  Release.open();
+  A.join();
+  ASSERT_TRUE(Big.Ok) << Big.Error;
+
+  // Capacity freed: the same request is admitted now -- the shed
+  // attempt leaked no InFlight state that could block or dedup it.
+  SweepResponse Again = Sched.serve(Small, nullptr);
+  ASSERT_TRUE(Again.Ok) << Again.Error;
+  EXPECT_EQ(Again.StoreMisses, 2u);
+
+  Scheduler::Stats St = Sched.stats();
+  EXPECT_EQ(St.ShedRequests, 1u);
+  EXPECT_EQ(St.QueuedPoints, 0u);
+  MetricsDoc MAfter = telemetry::registry().snapshot("test");
+  EXPECT_EQ(MAfter.counter("serve.shed") - MBefore.counter("serve.shed"),
+            1u);
+}
+
 } // namespace

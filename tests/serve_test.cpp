@@ -15,15 +15,21 @@
 //===----------------------------------------------------------------------===//
 
 #include "wcs/serve/Server.h"
+#include "wcs/support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace wcs;
@@ -291,6 +297,271 @@ TEST(ServeSocket, ClientReportsConnectFailure) {
   EXPECT_FALSE(submitSweepRequest(tempPath("nosock", ".sock"),
                                   smallRequest(), Resp, nullptr, &Err));
   EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Hardening: line caps, stale sockets, timeouts, retries, drain
+//===----------------------------------------------------------------------===//
+
+/// Boilerplate for the hardening tests: runServer on a thread, block
+/// until the socket accepts (or setup failed).
+struct TestServer {
+  std::thread Thread;
+  std::string Err;
+  void start(const ServerOptions &SO) {
+    // Shared latch: the server thread outlives this frame, so the
+    // ready state must too.
+    struct Latch {
+      std::mutex Mu;
+      std::condition_variable Cv;
+      bool Ready = false;
+    };
+    auto L = std::make_shared<Latch>();
+    auto Release = [L] {
+      std::lock_guard<std::mutex> G(L->Mu);
+      L->Ready = true;
+      L->Cv.notify_one();
+    };
+    Thread = std::thread([this, SO, Release] {
+      if (!runServer(SO, Release, &Err))
+        Release(); // Unblock start() even on setup failure.
+    });
+    std::unique_lock<std::mutex> G(L->Mu);
+    L->Cv.wait(G, [&] { return L->Ready; });
+  }
+  void join() { Thread.join(); }
+};
+
+TEST(ServeSocket, LineReaderRefusesUnframedOverlongLines) {
+  int Pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+  LineReader Reader(Pair[0]);
+  Reader.setMaxLineBytes(1024);
+
+  // 2000 bytes and no '\n': the reader must fail the connection with a
+  // diagnostic instead of buffering until the peer decides to frame.
+  std::string Blob(2000, 'x');
+  std::string Err;
+  ASSERT_TRUE(sendLine(Pair[1], Blob.substr(0, 999), &Err)) << Err;
+  // First line (framed, under the cap) still reads fine.
+  std::string Line;
+  ASSERT_TRUE(Reader.readLine(Line, &Err)) << Err;
+  EXPECT_EQ(Line.size(), 999u);
+
+  ssize_t Sent = ::send(Pair[1], Blob.data(), Blob.size(), 0);
+  ASSERT_EQ(Sent, static_cast<ssize_t>(Blob.size()));
+  EXPECT_FALSE(Reader.readLine(Line, &Err));
+  EXPECT_NE(Err.find("exceeds"), std::string::npos) << Err;
+
+  closeFd(Pair[0]);
+  closeFd(Pair[1]);
+}
+
+TEST(ServeSocket, ListenRefusesLiveSocketButReclaimsStaleOne) {
+  std::string Path = tempPath("stale", ".sock");
+  std::remove(Path.c_str());
+
+  std::string Err;
+  int First = listenUnix(Path, &Err);
+  ASSERT_GE(First, 0) << Err;
+
+  // The socket answers (the listen backlog accepts the probe), so a
+  // second daemon must refuse to steal it.
+  std::string Err2;
+  EXPECT_LT(listenUnix(Path, &Err2), 0);
+  EXPECT_NE(Err2.find("daemon already running"), std::string::npos) << Err2;
+
+  // Close WITHOUT unlinking: exactly what a crashed daemon leaves
+  // behind. Now the probe is refused, the file is stale, and binding
+  // over it succeeds.
+  closeFd(First);
+  int Second = listenUnix(Path, &Err);
+  EXPECT_GE(Second, 0) << Err;
+  closeFd(Second);
+  std::remove(Path.c_str());
+}
+
+TEST(ServeSocket, IoTimeoutFreesSlotParkedBySilentClient) {
+  std::string Socket = tempPath("iotimeout", ".sock");
+  ServerOptions SO;
+  SO.SocketPath = Socket;
+  SO.Threads = 2;
+  SO.MaxConnections = 1; // The silent client parks the ONLY slot.
+  SO.IoTimeoutSeconds = 0.25;
+
+  TestServer Server;
+  Server.start(SO);
+  ASSERT_EQ(Server.Err, "");
+
+  std::string Err;
+  int Silent = connectUnix(Socket, &Err);
+  ASSERT_GE(Silent, 0) << Err;
+
+  // A real request behind it: served only once the read timeout kicks
+  // the silent client out of the slot.
+  SweepResponse Resp;
+  ASSERT_TRUE(submitSweepRequest(Socket, smallRequest(), Resp, nullptr,
+                                 &Err))
+      << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+
+  // The silent connection was closed server-side without a byte sent.
+  char B;
+  ssize_t N = -1;
+  for (int I = 0; I < 500 && N != 0; ++I) {
+    N = ::recv(Silent, &B, 1, MSG_DONTWAIT);
+    if (N != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(N, 0) << "silent client still connected (or was sent data)";
+  closeFd(Silent);
+
+  ASSERT_TRUE(requestShutdown(Socket, &Err)) << Err;
+  Server.join();
+}
+
+TEST(ServeSocket, ClientRetriesUntilDaemonAppears) {
+  std::string Socket = tempPath("lateboot", ".sock");
+  std::remove(Socket.c_str());
+
+  MetricsDoc MBefore = telemetry::registry().snapshot("test");
+
+  // The daemon comes up ~150ms AFTER the first connect attempt fails.
+  TestServer Server;
+  std::thread Boot([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ServerOptions SO;
+    SO.SocketPath = Socket;
+    SO.Threads = 2;
+    Server.start(SO);
+  });
+
+  ClientRetryPolicy Policy;
+  Policy.Retries = 8;
+  Policy.BaseBackoffSeconds = 0.05;
+  SweepResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(submitSweepRequest(Socket, smallRequest(), Resp, nullptr,
+                                 Policy, &Err))
+      << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+
+  Boot.join();
+  ASSERT_EQ(Server.Err, "");
+  MetricsDoc MAfter = telemetry::registry().snapshot("test");
+  EXPECT_GE(MAfter.counter("client.retries") -
+                MBefore.counter("client.retries"),
+            1u);
+
+  ASSERT_TRUE(requestShutdown(Socket, &Err)) << Err;
+  Server.join();
+}
+
+TEST(ServeSocket, ClientRetriesOverloadedButTakesOtherErrorsAsFinal) {
+  std::string Socket = tempPath("overload", ".sock");
+  std::remove(Socket.c_str());
+  std::string Err;
+  int Listen = listenUnix(Socket, &Err);
+  ASSERT_GE(Listen, 0) << Err;
+
+  SweepRequest Req = smallRequest();
+  SweepResponse Overloaded;
+  Overloaded.Ok = false;
+  Overloaded.Error = "overloaded";
+  Overloaded.RequestHash = requestHash(Req);
+  Overloaded.RetryAfterSeconds = 0.01;
+  SweepResponse Final;
+  Final.Ok = false;
+  Final.Error = "unknown kernel"; // Retrying could never fix this.
+  Final.RequestHash = requestHash(Req);
+
+  // A hand-rolled daemon: sheds the first attempt, answers the retry
+  // with a non-retryable refusal.
+  std::thread Fake([&] {
+    for (int C = 0; C < 2; ++C) {
+      int Fd = ::accept(Listen, nullptr, nullptr);
+      if (Fd < 0)
+        return;
+      LineReader Reader(Fd);
+      std::string Line, E;
+      if (Reader.readLine(Line, &E))
+        sendLine(Fd,
+                 toJson(C == 0 ? Overloaded : Final).dump(false), &E);
+      closeFd(Fd);
+    }
+  });
+
+  MetricsDoc MBefore = telemetry::registry().snapshot("test");
+  ClientRetryPolicy Policy;
+  Policy.Retries = 5;
+  Policy.BaseBackoffSeconds = 0.01;
+  SweepResponse Resp;
+  ASSERT_TRUE(submitSweepRequest(Socket, Req, Resp, nullptr, Policy, &Err))
+      << Err;
+  // The overloaded answer was retried once; the refusal came back as
+  // the daemon's final word (returns true, Ok=false).
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error, "unknown kernel");
+  MetricsDoc MAfter = telemetry::registry().snapshot("test");
+  EXPECT_EQ(MAfter.counter("client.retries") -
+                MBefore.counter("client.retries"),
+            1u);
+
+  Fake.join();
+  closeFd(Listen);
+  std::remove(Socket.c_str());
+}
+
+TEST(ServeSocket, ShutdownDrainsInFlightRequests) {
+  std::string Socket = tempPath("drain", ".sock");
+  ServerOptions SO;
+  SO.SocketPath = Socket;
+  SO.Threads = 1;
+  SO.DrainTimeoutSeconds = 30.0; // Generous: must NOT expire here.
+
+  TestServer Server;
+  Server.start(SO);
+  ASSERT_EQ(Server.Err, "");
+
+  // Shutdown lands while the request streams progress; the drain must
+  // let it finish and answer Ok with every point.
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Progressed = false;
+  SweepResponse Resp;
+  std::string SubmitErr;
+  bool Submitted = false;
+  std::thread Client([&] {
+    Submitted = submitSweepRequest(
+        Socket, smallRequest(), Resp,
+        [&](const ProgressEvent &) {
+          std::lock_guard<std::mutex> L(Mu);
+          Progressed = true;
+          Cv.notify_one();
+        },
+        &SubmitErr);
+  });
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    Cv.wait(L, [&] { return Progressed; });
+  }
+  std::string Err;
+  ASSERT_TRUE(requestShutdown(Socket, &Err)) << Err;
+  Client.join();
+  Server.join();
+
+  ASSERT_TRUE(Submitted) << SubmitErr;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  ASSERT_EQ(Resp.Sweep.Points.size(), 4u);
+  for (const SweepPoint &P : Resp.Sweep.Points)
+    EXPECT_TRUE(P.Ok) << P.Error;
+
+  // The daemon recorded how long the drain took.
+  MetricsDoc M = telemetry::registry().snapshot("test");
+  bool SawDrainGauge = false;
+  for (const auto &G : M.Gauges)
+    SawDrainGauge |= G.first == "serve.drain_seconds";
+  EXPECT_TRUE(SawDrainGauge);
 }
 
 } // namespace

@@ -248,6 +248,63 @@ TEST(SweepRequest, FileRoundTrip) {
   EXPECT_FALSE(Err.empty());
 }
 
+TEST(SweepRequest, DeadlineRidesTheDocumentButNotThePointKeys) {
+  // deadline_seconds joined wcs-request v1 late: absent = 0 (no
+  // deadline), written only when set, so every pre-deadline document
+  // and its hash are unchanged.
+  SweepRequest Plain = sourceRequest();
+  EXPECT_EQ(toJson(Plain).find("deadline_seconds"), nullptr);
+  SweepRequest Back;
+  std::string Err;
+  ASSERT_TRUE(fromJson(toJson(Plain), Back, &Err)) << Err;
+  EXPECT_EQ(Back.DeadlineSeconds, 0.0);
+
+  SweepRequest Dated = sourceRequest();
+  Dated.DeadlineSeconds = 2.5;
+  ASSERT_TRUE(fromJson(toJson(Dated), Back, &Err)) << Err;
+  EXPECT_EQ(Back.DeadlineSeconds, 2.5);
+  EXPECT_EQ(dump(Back), dump(Dated));
+
+  // The deadline is part of the request's identity (two submissions
+  // with different deadlines are different requests)...
+  EXPECT_NE(requestHash(Plain), requestHash(Dated));
+  // ...but NOT of its points' identity: how long a client will wait
+  // must never change what a point means, or every store entry and
+  // cross-request dedup would fracture by deadline.
+  HierarchyConfig H = HierarchyConfig::singleLevel(
+      CacheConfig{1024, 2, 64, PolicyKind::Lru, WriteAllocate::Yes});
+  EXPECT_EQ(sweepPointKey(Plain, H), sweepPointKey(Dated, H));
+
+  // A negative deadline is malformed, not "no deadline".
+  json::Value Doc = toJson(Dated);
+  Doc.set("deadline_seconds", -1.0);
+  EXPECT_FALSE(fromJson(Doc, Back, &Err));
+  EXPECT_NE(Err.find("non-negative"), std::string::npos) << Err;
+}
+
+TEST(SweepResponse, RetryAfterRidesOverloadedResponses) {
+  SweepResponse Shed;
+  Shed.Ok = false;
+  Shed.Error = "overloaded";
+  Shed.RequestHash = "00000000deadbeef";
+  Shed.RetryAfterSeconds = 0.75;
+  SweepResponse Back;
+  std::string Err;
+  ASSERT_TRUE(fromJson(toJson(Shed), Back, &Err)) << Err;
+  EXPECT_EQ(Back.RetryAfterSeconds, 0.75);
+  EXPECT_EQ(toJson(Back).dump(false), toJson(Shed).dump(false));
+
+  // Absent (every non-shed response, and every pre-shedding daemon's
+  // output) reads back as 0: no hint.
+  SweepResponse Plain;
+  Plain.Ok = false;
+  Plain.Error = "nope";
+  Plain.RequestHash = "00000000deadbeef";
+  EXPECT_EQ(toJson(Plain).find("retry_after_seconds"), nullptr);
+  ASSERT_TRUE(fromJson(toJson(Plain), Back, &Err)) << Err;
+  EXPECT_EQ(Back.RetryAfterSeconds, 0.0);
+}
+
 TEST(SweepResponse, RoundTripsBothOutcomes) {
   SweepResponse Ok;
   Ok.Ok = true;

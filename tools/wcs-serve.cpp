@@ -23,11 +23,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "wcs/serve/Server.h"
+#include "wcs/support/FaultInjection.h"
 #include "wcs/support/StringUtil.h"
 #include "wcs/support/Telemetry.h"
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 using namespace wcs;
@@ -47,6 +49,16 @@ void usage() {
       "  --max-connections N   connections served at once; further clients\n"
       "                        wait in the listen backlog (default 8,\n"
       "                        0 = unlimited)\n"
+      "  --io-timeout S        disconnect a client that stalls a socket\n"
+      "                        read/write for S seconds (default 30,\n"
+      "                        0 = never)\n"
+      "  --drain-timeout S     on shutdown (SIGTERM/SIGINT/--shutdown),\n"
+      "                        cancel in-flight requests still running\n"
+      "                        after S seconds (default 0 = wait)\n"
+      "  --max-queued-points N shed requests that would push the compute\n"
+      "                        queue past N points; they get an\n"
+      "                        'overloaded' response with a retry hint\n"
+      "                        (default 0 = admit everything)\n"
       "  --log FILE            append one JSON line per served request\n"
       "                        (hash, point counts, hit/miss split, queue\n"
       "                        wait, compute time, outcome)\n"
@@ -63,15 +75,26 @@ void usage() {
       "  --status              print the daemon's status counters to\n"
       "                        stdout instead\n"
       "  --shutdown            ask the daemon to exit instead\n"
+      "  --retries N           retry a failed connect or an 'overloaded'\n"
+      "                        response up to N times with exponential\n"
+      "                        backoff + jitter (default 0)\n"
+      "  --retry-base-ms N     first-retry backoff in milliseconds;\n"
+      "                        doubles per attempt, capped at 5s\n"
+      "                        (default 100)\n"
       "store maintenance:\n"
       "  --compact             rewrite the --store log in place: one line\n"
       "                        per live key, oldest first\n"
       "  --max-entries N       with --compact: evict oldest-inserted\n"
-      "                        entries beyond N (default 0 = keep all)\n");
+      "                        entries beyond N (default 0 = keep all)\n"
+      "fault injection (testing): set WCS_FAULT=point:prob,... (points:\n"
+      "store.write, socket.send, socket.recv, scheduler.job) and\n"
+      "optionally WCS_FAULT_SEED=N to make the named operations fail\n"
+      "with the given probabilities, deterministically per seed.\n");
 }
 
 int runClient(const std::string &SocketPath, const std::string &RequestPath,
-              const std::string &OutPath, bool Shutdown, bool Status) {
+              const std::string &OutPath, bool Shutdown, bool Status,
+              const ClientRetryPolicy &Retry) {
   std::string Err;
   if (Shutdown) {
     if (!requestShutdown(SocketPath, &Err)) {
@@ -105,7 +128,7 @@ int runClient(const std::string &SocketPath, const std::string &RequestPath,
                      E.Total, sweepMethodName(E.Method),
                      E.Ok ? "ok" : "FAILED", E.Cache.c_str());
       },
-      &Err);
+      Retry, &Err);
   if (!Sent) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
@@ -160,8 +183,9 @@ int main(int argc, char **argv) {
   std::string SocketPath, StorePath, RequestPath, OutPath;
   std::string LogPath, TracePath, MetricsPath;
   bool Client = false, Shutdown = false, Status = false, Compact = false;
-  unsigned Jobs = 0, MaxConnections = 8;
-  uint64_t MaxEntries = 0;
+  unsigned Jobs = 0, MaxConnections = 8, Retries = 0, RetryBaseMs = 100;
+  uint64_t MaxEntries = 0, MaxQueuedPoints = 0;
+  double IoTimeout = 30.0, DrainTimeout = 0.0;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -171,6 +195,20 @@ int main(int argc, char **argv) {
         std::exit(2);
       }
       return argv[++I];
+    };
+    // Seconds flags: non-negative decimal, whole token.
+    auto NextSeconds = [&](double &Out) {
+      const char *N = Next();
+      char *End = nullptr;
+      double V = std::strtod(N, &End);
+      if (End == N || *End != '\0' || !(V >= 0)) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative number of seconds, "
+                     "got '%s'\n",
+                     A.c_str(), N);
+        std::exit(2);
+      }
+      Out = V;
     };
     if (A == "--socket") {
       SocketPath = Next();
@@ -214,6 +252,37 @@ int main(int argc, char **argv) {
                      N);
         return 2;
       }
+    } else if (A == "--io-timeout") {
+      NextSeconds(IoTimeout);
+    } else if (A == "--drain-timeout") {
+      NextSeconds(DrainTimeout);
+    } else if (A == "--max-queued-points") {
+      const char *N = Next();
+      if (!parseUInt64(N, MaxQueuedPoints, UINT64_MAX)) {
+        std::fprintf(stderr,
+                     "error: --max-queued-points expects a non-negative "
+                     "number, got '%s'\n",
+                     N);
+        return 2;
+      }
+    } else if (A == "--retries") {
+      const char *N = Next();
+      if (!parseJobCount(N, Retries)) {
+        std::fprintf(stderr,
+                     "error: --retries expects a non-negative number, got "
+                     "'%s'\n",
+                     N);
+        return 2;
+      }
+    } else if (A == "--retry-base-ms") {
+      const char *N = Next();
+      if (!parseJobCount(N, RetryBaseMs)) {
+        std::fprintf(stderr,
+                     "error: --retry-base-ms expects a non-negative number, "
+                     "got '%s'\n",
+                     N);
+        return 2;
+      }
     } else if (A == "--max-entries") {
       const char *N = Next();
       if (!parseUInt64(N, MaxEntries, UINT64_MAX)) {
@@ -232,6 +301,18 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+
+  // Fault injection arms from the environment (WCS_FAULT), never from a
+  // flag: the CI harness can point it at exactly one process in a
+  // pipeline without every caller growing pass-through options.
+  std::string FaultErr;
+  if (!faultinject::armFromEnv(&FaultErr)) {
+    std::fprintf(stderr, "error: %s\n", FaultErr.c_str());
+    return 2;
+  }
+  if (faultinject::armed())
+    std::fprintf(stderr, "wcs-serve: fault injection armed: %s\n",
+                 faultinject::armedSpec().c_str());
 
   if (Compact) {
     if (Client || StorePath.empty()) {
@@ -252,7 +333,12 @@ int main(int argc, char **argv) {
                            "--status, or --shutdown\n");
       return 2;
     }
-    return runClient(SocketPath, RequestPath, OutPath, Shutdown, Status);
+    ClientRetryPolicy Retry;
+    Retry.Retries = Retries;
+    Retry.BaseBackoffSeconds = RetryBaseMs / 1000.0;
+    Retry.IoTimeoutSeconds = IoTimeout;
+    return runClient(SocketPath, RequestPath, OutPath, Shutdown, Status,
+                     Retry);
   }
 
   ServerOptions SO;
@@ -261,6 +347,10 @@ int main(int argc, char **argv) {
   SO.Threads = Jobs;
   SO.MaxConnections = MaxConnections;
   SO.LogPath = LogPath;
+  SO.IoTimeoutSeconds = IoTimeout;
+  SO.DrainTimeoutSeconds = DrainTimeout;
+  SO.MaxQueuedPoints = MaxQueuedPoints;
+  SO.HandleSignals = true;
   if (!TracePath.empty())
     telemetry::enableTracing();
   else if (!MetricsPath.empty())

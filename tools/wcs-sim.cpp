@@ -94,6 +94,10 @@ void usage() {
       "                        and exit without running; the same\n"
       "                        document replays through wcs-sim or a\n"
       "                        wcs-serve daemon, bit-identically\n"
+      "  --deadline S          stamp the request with a serving deadline\n"
+      "                        of S seconds (a daemon returns partial\n"
+      "                        results past it; ignored when the sweep\n"
+      "                        runs in-process; default 0 = none)\n"
       "  --max-filtered-records N\n"
       "                        cap the stored records of one L1-miss\n"
       "                        stream (0 = unlimited; capped groups\n"
@@ -151,6 +155,7 @@ int main(int argc, char **argv) {
   bool WarpSweepThresholdSet = false;
   std::string SweepL1Spec = "8K:256K:x2,assoc=8", SweepL2Spec,
       SweepJsonPath, EmitRequestPath;
+  double DeadlineSeconds = 0.0;
   bool HasL2 = false, HasL1 = false, NoWriteAlloc = false;
   bool All = false, Compare = false, Dump = false;
   SimBackend Backend = SimBackend::Warping;
@@ -209,6 +214,19 @@ int main(int argc, char **argv) {
       Sweep = true;
     } else if (A == "--emit-request") {
       EmitRequestPath = Next();
+      Sweep = true;
+    } else if (A == "--deadline") {
+      const char *N = Next();
+      char *End = nullptr;
+      double V = std::strtod(N, &End);
+      if (End == N || *End != '\0' || !(V >= 0)) {
+        std::fprintf(stderr,
+                     "error: --deadline expects a non-negative number of "
+                     "seconds, got '%s'\n",
+                     N);
+        return 2;
+      }
+      DeadlineSeconds = V;
       Sweep = true;
     } else if (A == "--max-filtered-records") {
       const char *N = Next();
@@ -352,6 +370,9 @@ int main(int argc, char **argv) {
       Req.Options.Backend = Backend;
     if (MaxFilteredRecordsSet)
       Req.Options.MaxFilteredRecords = MaxFilteredRecords;
+    // Meaningful when the request reaches a daemon (--emit-request +
+    // wcs-serve --client); the in-process sweep below ignores it.
+    Req.DeadlineSeconds = DeadlineSeconds;
 
     if (!EmitRequestPath.empty()) {
       PreparedSweep Prep; // Validate fully before emitting.
